@@ -1,0 +1,56 @@
+// bench_util.hpp - shared plumbing for the figure benches: output directory
+// handling, paper-vs-measured printing, and the standard train-then-deploy
+// evaluation protocol ("All results for Next were observed when it was
+// fully trained", Section V).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace nextgov::bench {
+
+/// Where benches drop their CSV series (created on demand).
+inline std::string out_dir() {
+  const std::filesystem::path dir{"bench_out"};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir.string();
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==================================================================\n");
+  std::printf("%s - %s\n", figure, description);
+  std::printf("==================================================================\n");
+}
+
+/// Prints "paper X vs measured Y" with the reproduction ratio.
+inline void print_vs_paper(const char* label, double paper, double measured,
+                           const char* unit) {
+  const double ratio = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("  %-34s paper %8.2f %-4s  measured %8.2f %-4s  (x%.2f)\n", label, paper, unit,
+              measured, unit, ratio);
+}
+
+/// Trains Next on `factory`'s app until `budget` (full-budget refinement,
+/// not stop-at-convergence) and returns the learned table.
+inline sim::TrainingResult train_for_eval(sim::AppFactory factory, std::uint64_t seed,
+                                          double budget_s = 1500.0,
+                                          core::NextConfig config = {}) {
+  sim::TrainingOptions opts;
+  opts.max_duration = SimTime::from_seconds(budget_s);
+  opts.seed = seed;
+  return sim::train_next_on(std::move(factory), config, opts);
+}
+
+/// Mean of a field over several seeds of the same experiment.
+template <typename Fn>
+double mean_over_seeds(int seeds, std::uint64_t base_seed, Fn&& fn) {
+  double sum = 0.0;
+  for (int i = 0; i < seeds; ++i) sum += fn(base_seed + static_cast<std::uint64_t>(i));
+  return sum / seeds;
+}
+
+}  // namespace nextgov::bench

@@ -1,0 +1,103 @@
+// tab_overhead - reproduces the paper's overhead analysis (Section V):
+// "the maximum overhead required for computation by the Next agent is
+// around 227 ns on an average".
+//
+// google-benchmark timings of the agent's hot paths: the 100 ms control
+// step (deployed: state encode + greedy lookup + cap actuation; training:
+// + one Q-learning update) and the 25 ms frame-window sample.
+#include <benchmark/benchmark.h>
+
+#include "core/next_agent.hpp"
+#include "soc/soc.hpp"
+
+namespace {
+
+using namespace nextgov;
+
+governors::Observation make_obs(const soc::Soc& soc, double fps) {
+  governors::Observation obs;
+  obs.clusters.resize(soc.cluster_count());
+  for (std::size_t i = 0; i < soc.cluster_count(); ++i) {
+    const auto& c = soc.cluster(i);
+    obs.clusters[i].freq_index = c.freq_index();
+    obs.clusters[i].cap_index = c.max_cap_index();
+    obs.clusters[i].opp_count = c.opps().size();
+    obs.clusters[i].frequency = c.frequency();
+    obs.clusters[i].max_frequency = c.opps().highest().frequency;
+  }
+  obs.fps = Fps{fps};
+  obs.sensors.power = Watts{3.2};
+  obs.sensors.big = Celsius{48.0};
+  obs.sensors.device = Celsius{31.0};
+  return obs;
+}
+
+/// Pre-trains a small table so the benchmark exercises realistic lookups.
+std::unique_ptr<core::NextAgent> make_trained_agent(soc::Soc& soc) {
+  auto agent = core::make_next_agent(soc, core::NextConfig{}, 1);
+  agent->set_mode(core::AgentMode::kTraining);
+  for (int i = 0; i < 3000; ++i) {
+    auto obs = make_obs(soc, 20.0 + (i % 40));
+    agent->on_sample(obs);
+    agent->control(obs, soc);
+  }
+  return agent;
+}
+
+void BM_DeployedControlStep(benchmark::State& state) {
+  soc::Soc soc = soc::make_exynos9810();
+  auto agent = make_trained_agent(soc);
+  agent->set_mode(core::AgentMode::kDeployed);
+  auto obs = make_obs(soc, 42.0);
+  for (auto _ : state) {
+    agent->control(obs, soc);
+    benchmark::DoNotOptimize(soc);
+  }
+  state.SetLabel("paper: ~227 ns mean agent overhead");
+}
+BENCHMARK(BM_DeployedControlStep);
+
+void BM_TrainingControlStep(benchmark::State& state) {
+  soc::Soc soc = soc::make_exynos9810();
+  auto agent = make_trained_agent(soc);
+  auto obs = make_obs(soc, 42.0);
+  for (auto _ : state) {
+    agent->control(obs, soc);
+    benchmark::DoNotOptimize(soc);
+  }
+}
+BENCHMARK(BM_TrainingControlStep);
+
+void BM_FrameWindowSample(benchmark::State& state) {
+  soc::Soc soc = soc::make_exynos9810();
+  auto agent = make_trained_agent(soc);
+  auto obs = make_obs(soc, 42.0);
+  for (auto _ : state) {
+    agent->on_sample(obs);
+  }
+}
+BENCHMARK(BM_FrameWindowSample);
+
+void BM_TargetFpsModeComputation(benchmark::State& state) {
+  // The mode over the 160-sample window, recomputed at each control step.
+  core::FrameWindow window;
+  for (int i = 0; i < 160; ++i) window.add_sample(Fps{static_cast<double>(i % 61)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window.target_fps());
+  }
+}
+BENCHMARK(BM_TargetFpsModeComputation);
+
+void BM_RewardEvaluation(benchmark::State& state) {
+  soc::Soc soc = soc::make_exynos9810();
+  auto agent = make_trained_agent(soc);
+  const auto obs = make_obs(soc, 42.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent->reward(obs, 40));
+  }
+}
+BENCHMARK(BM_RewardEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// federated_training - Section IV-C: "a new type of machine learning called
+// federated learning could be utilized to train the agent more effectively
+// by leveraging the computational power of the cloud."
+//
+// Simulates a small fleet: N devices each train Next on the same app with
+// their own users (seeds), upload their Q-tables, the server merges them
+// (visit-weighted FedAvg over tried actions) and ships the merged table to
+// a brand-new device, which deploys it without any local training.
+#include <cstdio>
+#include <vector>
+
+#include "rl/federated.hpp"
+#include "sim/experiment.hpp"
+#include "workload/apps.hpp"
+
+int main() {
+  using namespace nextgov;
+
+  const auto app = workload::AppId::kLineage;
+  constexpr int kDevices = 3;
+  // Each device trains for a fraction of the single-device budget: the
+  // point of federation is pooling short, cheap per-device sessions.
+  const double per_device_budget_s = 500.0;
+
+  std::printf("federating %d devices x %.0f s of on-device training on '%s'\n\n", kDevices,
+              per_device_budget_s, std::string{workload::to_string(app)}.c_str());
+
+  std::vector<sim::TrainingResult> devices;
+  std::vector<const rl::QTable*> tables;
+  for (int d = 0; d < kDevices; ++d) {
+    sim::TrainingOptions opts;
+    opts.max_duration = SimTime::from_seconds(per_device_budget_s);
+    opts.seed = 100 + static_cast<std::uint64_t>(d) * 17;  // different users
+    devices.push_back(sim::train_next(app, core::NextConfig{}, opts));
+    std::printf("  device %d: %zu states, %llu visits, mean reward %.3f\n", d,
+                devices.back().states_visited,
+                static_cast<unsigned long long>(devices.back().table.total_visits()),
+                devices.back().final_mean_reward);
+  }
+  for (const auto& d : devices) tables.push_back(&d.table);
+
+  const rl::QTable merged = rl::merge_q_tables(tables);
+  const rl::CloudTimingModel timing{};
+  std::printf("\ncloud merge: %zu states (union of device coverage), +%.0f s comm overhead\n",
+              merged.state_count(), timing.comm_overhead_s);
+
+  // A fresh device receives the merged table and runs with zero training.
+  sim::ExperimentConfig cfg;
+  cfg.duration = workload::paper_session_length(app);
+  cfg.seed = 999;  // a user none of the training devices saw
+
+  cfg.governor = sim::GovernorKind::kSchedutil;
+  const sim::SessionResult stock = sim::run_app_session(app, cfg);
+
+  cfg.governor = sim::GovernorKind::kNext;
+  cfg.trained_table = &merged;
+  const sim::SessionResult fed = sim::run_app_session(app, cfg);
+
+  // Compare against the best single device's table on the same session.
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < devices.size(); ++d) {
+    if (devices[d].final_mean_reward > devices[best].final_mean_reward) best = d;
+  }
+  cfg.trained_table = &devices[best].table;
+  const sim::SessionResult solo = sim::run_app_session(app, cfg);
+
+  std::printf("\n%-26s %12s %16s %10s\n", "configuration", "avg_power_W", "peak_big_temp_C",
+              "avg_FPS");
+  std::printf("%-26s %12.3f %16.1f %10.1f\n", "schedutil (stock)", stock.avg_power_w,
+              stock.peak_temp_big_c, stock.avg_fps);
+  std::printf("%-26s %12.3f %16.1f %10.1f\n", "Next (best single device)", solo.avg_power_w,
+              solo.peak_temp_big_c, solo.avg_fps);
+  std::printf("%-26s %12.3f %16.1f %10.1f\n", "Next (federated merge)", fed.avg_power_w,
+              fed.peak_temp_big_c, fed.avg_fps);
+  std::printf("\nfederated vs stock: %.1f%% power saved on a never-trained device.\n",
+              100.0 * (1.0 - fed.avg_power_w / stock.avg_power_w));
+  return 0;
+}

@@ -1,0 +1,115 @@
+// session_player - run any app under any governor and inspect the session.
+//
+//   session_player [app] [governor] [duration_s] [seed] [csv_path]
+//
+//   app      : facebook | spotify | web_browser | youtube | lineage | pubg
+//              | home | fig1session            (default facebook)
+//   governor : schedutil | performance | powersave | ondemand | intqos
+//              | next | next_trained           (default schedutil)
+//   next_trained first trains the agent online on the same app, then
+//   deploys the learned Q-table for the measured session (the paper's
+//   "fully trained" evaluation protocol).
+//
+// Prints the session summary and, when csv_path is given, the full 1 s
+// time series for plotting.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "workload/session.hpp"
+
+namespace {
+
+using namespace nextgov;
+
+void print_usage() {
+  std::puts(
+      "usage: session_player [app] [governor] [duration_s] [seed] [csv_path]\n"
+      "  app: facebook spotify web_browser youtube lineage pubg home fig1session\n"
+      "  governor: schedutil performance powersave ondemand intqos next next_trained");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app_name = argc > 1 ? argv[1] : "facebook";
+  const std::string gov_name = argc > 2 ? argv[2] : "schedutil";
+  const double duration_s = argc > 3 ? std::atof(argv[3]) : 150.0;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  const std::string csv_path = argc > 5 ? argv[5] : "";
+
+  const std::map<std::string, workload::AppId> apps{
+      {"home", workload::AppId::kHome},         {"facebook", workload::AppId::kFacebook},
+      {"spotify", workload::AppId::kSpotify},   {"web_browser", workload::AppId::kWebBrowser},
+      {"youtube", workload::AppId::kYoutube},   {"lineage", workload::AppId::kLineage},
+      {"pubg", workload::AppId::kPubg}};
+  const std::map<std::string, sim::GovernorKind> governors{
+      {"schedutil", sim::GovernorKind::kSchedutil},
+      {"performance", sim::GovernorKind::kPerformance},
+      {"powersave", sim::GovernorKind::kPowersave},
+      {"ondemand", sim::GovernorKind::kOndemand},
+      {"intqos", sim::GovernorKind::kIntQos},
+      {"next", sim::GovernorKind::kNext},
+      {"next_trained", sim::GovernorKind::kNext}};
+
+  const bool is_session = app_name == "fig1session";
+  if (!is_session && apps.find(app_name) == apps.end()) {
+    print_usage();
+    return 1;
+  }
+  const auto gov_it = governors.find(gov_name);
+  if (gov_it == governors.end()) {
+    print_usage();
+    return 1;
+  }
+
+  sim::ExperimentConfig config;
+  config.governor = gov_it->second;
+  config.duration = SimTime::from_seconds(duration_s);
+  config.seed = seed;
+
+  sim::TrainingResult training{rl::QTable{9}, false, 0, 0, 0, 0, 0};
+  if (gov_name == "next_trained") {
+    sim::TrainingOptions opts;
+    opts.seed = seed + 1000;
+    if (is_session) {
+      training = sim::train_next_on(
+          [](std::uint64_t s) { return workload::make_fig1_session(s); }, config.next_config,
+          opts);
+    } else {
+      training = sim::train_next(apps.at(app_name), config.next_config, opts);
+    }
+    std::printf("trained: converged=%d sim=%.0fs wall=%.2fs states=%zu mean_reward=%.3f\n",
+                training.converged ? 1 : 0, training.sim_seconds, training.wall_seconds,
+                training.states_visited, training.final_mean_reward);
+    config.trained_table = &training.table;
+  }
+
+  const sim::SessionResult r =
+      is_session ? sim::run_session(
+                       [](std::uint64_t s) { return workload::make_fig1_session(s); },
+                       "fig1session", config)
+                 : sim::run_app_session(apps.at(app_name), config);
+
+  std::printf("app=%s governor=%s duration=%.0fs seed=%llu\n", r.app.c_str(),
+              r.governor.c_str(), r.duration_s, static_cast<unsigned long long>(seed));
+  std::printf("  avg power     : %7.3f W (peak %.3f W)\n", r.avg_power_w, r.peak_power_w);
+  std::printf("  big CPU temp  : %7.2f C avg, %7.2f C peak\n", r.avg_temp_big_c,
+              r.peak_temp_big_c);
+  std::printf("  device temp   : %7.2f C avg, %7.2f C peak\n", r.avg_temp_device_c,
+              r.peak_temp_device_c);
+  std::printf("  FPS           : %7.2f avg (%lld presented, %lld dropped)\n", r.avg_fps,
+              static_cast<long long>(r.frames_presented),
+              static_cast<long long>(r.frames_dropped));
+  std::printf("  energy        : %7.1f J   avg PPDW: %.4f\n", r.energy_j, r.avg_ppdw);
+
+  if (!csv_path.empty()) {
+    sim::Recorder rec;
+    for (const auto& s : r.series) rec.add(s);
+    rec.save_csv(csv_path);
+    std::printf("  series -> %s (%zu samples)\n", csv_path.c_str(), r.series.size());
+  }
+  return 0;
+}

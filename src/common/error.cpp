@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nextgov {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "nextgov invariant violated: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace nextgov

@@ -1,0 +1,39 @@
+#include "common/mode.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace nextgov {
+
+int mode_of(std::span<const int> values, int max_value) {
+  require(max_value >= 0, "mode_of: max_value must be non-negative");
+  if (values.empty()) return 0;
+  std::vector<int> counts(static_cast<std::size_t>(max_value) + 1, 0);
+  for (int v : values) {
+    const int clamped = std::clamp(v, 0, max_value);
+    ++counts[static_cast<std::size_t>(clamped)];
+  }
+  int best = 0;
+  int best_count = -1;
+  // Scan ascending with >= so the largest tied value wins.
+  for (int v = 0; v <= max_value; ++v) {
+    if (counts[static_cast<std::size_t>(v)] >= best_count &&
+        counts[static_cast<std::size_t>(v)] > 0) {
+      best = v;
+      best_count = counts[static_cast<std::size_t>(v)];
+    }
+  }
+  return best;
+}
+
+int mode_of_rounded(std::span<const double> values, int max_value) {
+  std::vector<int> ints;
+  ints.reserve(values.size());
+  for (double v : values) ints.push_back(static_cast<int>(std::lround(v)));
+  return mode_of(ints, max_value);
+}
+
+}  // namespace nextgov

@@ -1,0 +1,24 @@
+// mode.hpp - mathematical mode of a sample.
+//
+// The core of the paper's user-interaction analysis: the target FPS for a
+// session window is "the mathematical mode operation of all the 160 distinct
+// values" sampled from the frame window (Section IV-A). Ties are resolved
+// toward the *largest* value so the agent never under-provisions QoS when two
+// frame rates are equally common.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nextgov {
+
+/// Most frequent value of a non-negative integer sample (values <= max_value).
+/// Tie-break: the largest of the equally-frequent values. Returns 0 for an
+/// empty sample.
+[[nodiscard]] int mode_of(std::span<const int> values, int max_value = 240);
+
+/// Mode of doubles after rounding to the nearest integer (FPS samples are
+/// conceptually integer frame counts).
+[[nodiscard]] int mode_of_rounded(std::span<const double> values, int max_value = 240);
+
+}  // namespace nextgov

@@ -1,0 +1,148 @@
+// units.hpp - strong value types for physical quantities.
+//
+// The library moves frequencies (kHz, like Linux cpufreq), power (W),
+// temperature (degrees C) and voltage (V) between many modules; mixing them up
+// silently is the classic simulator bug. Following C++ Core Guidelines I.4
+// ("make interfaces precisely and strongly typed") every quantity is a
+// distinct arithmetic wrapper with only the operations that make physical
+// sense.
+//
+// The wrappers are constexpr, trivially copyable and have no invariant beyond
+// "is a finite double"; they are deliberately cheap enough for the 1 ms
+// simulation hot loop.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace nextgov {
+
+/// CRTP base providing ordering, +,-, scalar *,/ for a tagged quantity.
+/// Derived types expose value() in their canonical unit.
+template <typename Derived>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double v) noexcept : value_{v} {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  friend constexpr auto operator<=>(const Derived& a, const Derived& b) noexcept {
+    return a.value() <=> b.value();
+  }
+  friend constexpr bool operator==(const Derived& a, const Derived& b) noexcept {
+    return a.value() == b.value();
+  }
+  friend constexpr Derived operator+(const Derived& a, const Derived& b) noexcept {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(const Derived& a, const Derived& b) noexcept {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator*(const Derived& a, double s) noexcept {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, const Derived& a) noexcept {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator/(const Derived& a, double s) noexcept {
+    return Derived{a.value() / s};
+  }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(const Derived& a, const Derived& b) noexcept {
+    return a.value() / b.value();
+  }
+  constexpr Derived& operator+=(const Derived& o) noexcept {
+    value_ += o.value();
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(const Derived& o) noexcept {
+    value_ -= o.value();
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double value_{0.0};
+};
+
+/// Frequency in kilohertz - the canonical unit of Linux cpufreq OPP tables.
+class KiloHertz : public Quantity<KiloHertz> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double hz() const noexcept { return value() * 1e3; }
+  [[nodiscard]] constexpr double mhz() const noexcept { return value() / 1e3; }
+  [[nodiscard]] constexpr double ghz() const noexcept { return value() / 1e6; }
+  [[nodiscard]] static constexpr KiloHertz from_mhz(double mhz) noexcept {
+    return KiloHertz{mhz * 1e3};
+  }
+  [[nodiscard]] static constexpr KiloHertz from_ghz(double ghz) noexcept {
+    return KiloHertz{ghz * 1e6};
+  }
+};
+
+/// Electrical power in watts (device- or cluster-level).
+class Watts : public Quantity<Watts> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double milliwatts() const noexcept { return value() * 1e3; }
+  [[nodiscard]] static constexpr Watts from_milliwatts(double mw) noexcept {
+    return Watts{mw / 1e3};
+  }
+};
+
+/// Temperature in degrees Celsius (the paper reports degrees C throughout).
+class Celsius : public Quantity<Celsius> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double kelvin() const noexcept { return value() + 273.15; }
+};
+
+/// Supply voltage in volts.
+class Volts : public Quantity<Volts> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double millivolts() const noexcept { return value() * 1e3; }
+};
+
+/// Energy in joules; accumulating power over sim steps.
+class Joules : public Quantity<Joules> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Frames per second. Kept as double internally; the agent quantizes
+/// explicitly via rl::Discretizer, never implicitly.
+class Fps : public Quantity<Fps> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr int rounded() const noexcept {
+    return static_cast<int>(value() + (value() >= 0 ? 0.5 : -0.5));
+  }
+};
+
+/// Convenience literals: 650_mhz, 2.5_w, 21.0_celsius ...
+namespace literals {
+constexpr KiloHertz operator""_khz(long double v) { return KiloHertz{static_cast<double>(v)}; }
+constexpr KiloHertz operator""_khz(unsigned long long v) { return KiloHertz{static_cast<double>(v)}; }
+constexpr KiloHertz operator""_mhz(long double v) { return KiloHertz::from_mhz(static_cast<double>(v)); }
+constexpr KiloHertz operator""_mhz(unsigned long long v) { return KiloHertz::from_mhz(static_cast<double>(v)); }
+constexpr KiloHertz operator""_ghz(long double v) { return KiloHertz::from_ghz(static_cast<double>(v)); }
+constexpr Watts operator""_w(long double v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_w(unsigned long long v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_mw(long double v) { return Watts::from_milliwatts(static_cast<double>(v)); }
+constexpr Celsius operator""_celsius(long double v) { return Celsius{static_cast<double>(v)}; }
+constexpr Celsius operator""_celsius(unsigned long long v) { return Celsius{static_cast<double>(v)}; }
+constexpr Volts operator""_v(long double v) { return Volts{static_cast<double>(v)}; }
+constexpr Fps operator""_fps(long double v) { return Fps{static_cast<double>(v)}; }
+constexpr Fps operator""_fps(unsigned long long v) { return Fps{static_cast<double>(v)}; }
+}  // namespace literals
+
+}  // namespace nextgov
+
+template <>
+struct std::hash<nextgov::KiloHertz> {
+  size_t operator()(const nextgov::KiloHertz& k) const noexcept {
+    return std::hash<double>{}(k.value());
+  }
+};

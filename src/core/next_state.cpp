@@ -1,0 +1,47 @@
+#include "core/next_state.hpp"
+
+#include "common/error.hpp"
+
+namespace nextgov::core {
+
+NextStateEncoder::NextStateEncoder(const NextConfig& config, std::vector<std::size_t> opp_counts)
+    : opp_counts_{std::move(opp_counts)},
+      fps_bins_{0.0, config.ppdw_bounds.fps_max, config.fps_levels},
+      power_bins_{0.0, config.power_max_w, config.power_bins},
+      temp_bins_{config.temp_min_c, config.temp_max_c, config.temp_bins} {
+  require(!opp_counts_.empty(), "state encoder needs at least one cluster");
+  require(config.fps_levels > 0, "fps_levels must be positive");
+  for (std::size_t count : opp_counts_) {
+    require(count > 0, "cluster OPP count must be positive");
+    packer_.add_field(count);  // per-cluster cap index
+  }
+  packer_.add_field(config.fps_levels);  // FPS_current
+  packer_.add_field(config.fps_levels);  // Target FPS
+  packer_.add_field(config.power_bins);  // Power_current
+  packer_.add_field(config.temp_bins);   // Temperature_big
+  packer_.add_field(config.temp_bins);   // Temperature_device
+}
+
+rl::StateKey NextStateEncoder::encode(const governors::Observation& obs,
+                                      int target_fps) const {
+  // Allocation-free: this runs on the agent's 100 ms decision path, whose
+  // latency is itself a reported result (paper Section V: ~227 ns).
+  NEXTGOV_ASSERT(obs.clusters.size() == opp_counts_.size());
+  rl::StateKey key = 0;
+  // Encode in reverse field order (same mixed-radix layout as the packer:
+  // field 0 is the least significant digit).
+  key = temp_bins_.bin(obs.sensors.device.value());
+  key = key * temp_bins_.count() + temp_bins_.bin(obs.sensors.big.value());
+  key = key * power_bins_.count() + power_bins_.bin(obs.sensors.power.value());
+  key = key * fps_bins_.count() + fps_bins_.bin(static_cast<double>(target_fps));
+  key = key * fps_bins_.count() + fps_bins_.bin(obs.fps.value());
+  for (std::size_t i = opp_counts_.size(); i-- > 0;) {
+    // Section IV-B feeds "the current operating frequency of each cluster"
+    // into the state; actions anchor on it too (see apply_action).
+    NEXTGOV_ASSERT(obs.clusters[i].freq_index < opp_counts_[i]);
+    key = key * opp_counts_[i] + obs.clusters[i].freq_index;
+  }
+  return key;
+}
+
+}  // namespace nextgov::core

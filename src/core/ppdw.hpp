@@ -1,0 +1,48 @@
+// ppdw.hpp - Performance Per Degree Watt, the paper's metric (Section III-B).
+//
+//   PPDW_i = FPS_i / (dT * P_i) ,  dT = T_i - T_a                    (Eq. 1)
+//
+// bounded by
+//
+//   PPDW_worst = FPS_least / ((T_max - T_a) * P_max)
+//   PPDW_best  = FPS_max   / ((T_least - T_a) * P_least)
+//   PPDW_best >= PPDW_desired > PPDW_worst                           (Eq. 2)
+//
+// (The prose under Eq. 2 says "minimize"; Eq. 4 - max R = max PPDW - and the
+// whole reward construction make clear the objective is maximization within
+// the bounds. We maximize; see DESIGN.md.)
+//
+// For reward use the unbounded ratio is squashed with a saturating score
+// x/(x+ref) that preserves PPDW ordering while giving the learner a usable
+// dynamic range - raw PPDW spans four decades across the bounds.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace nextgov::core {
+
+/// Envelope constants used for Eq. 2's bounds and the reward squashing.
+struct PpdwBounds {
+  double fps_least{1.0};       ///< the paper's example: 1 FPS at full power
+  double fps_max{60.0};        ///< display-limited maximum
+  Watts power_least{1.0};      ///< near-idle device power
+  Watts power_max{12.0};       ///< all-clusters-max burst power
+  Celsius temp_least{29.0};    ///< coolest loaded junction temperature
+  Celsius temp_max{95.0};      ///< thermal design limit
+  Celsius ambient{21.0};       ///< paper: thermostat-controlled 21 C
+
+  [[nodiscard]] double worst() const noexcept;
+  [[nodiscard]] double best() const noexcept;
+};
+
+/// Eq. 1. Guards: dT below 0.5 K clamps to 0.5 (a device cannot measurably
+/// be at ambient while drawing power), power below 1 mW clamps to 1 mW.
+[[nodiscard]] double ppdw(double fps, Watts power, Celsius temp, Celsius ambient) noexcept;
+
+/// Saturating squash x/(x+ref) in [0,1), monotone in ppdw_value.
+[[nodiscard]] double ppdw_score(double ppdw_value, double ref) noexcept;
+
+/// Clamps a PPDW value into the Eq. 2 bounds.
+[[nodiscard]] double clamp_to_bounds(double ppdw_value, const PpdwBounds& bounds) noexcept;
+
+}  // namespace nextgov::core

@@ -1,0 +1,50 @@
+// governor.hpp - the two governor roles of the reproduced stack.
+//
+// The paper's Next agent runs *in the application layer* and actuates only
+// the per-cluster maxfreq caps; the kernel's own governor keeps picking the
+// operating point below the cap ("Setting the maxfreq provides the
+// flexibility for the PEs to operate within the range", Section IV-A). We
+// mirror that split:
+//
+//   FreqGovernor - kernel-level: selects each cluster's operating index
+//                  within [min_cap, max_cap] every period (schedutil & co).
+//   MetaGovernor - application-level: adjusts the caps at its own (slower)
+//                  period (Next, Int. QoS PM). The stock baseline is simply
+//                  "no meta governor".
+#pragma once
+
+#include <string_view>
+
+#include "common/sim_time.hpp"
+#include "governors/observation.hpp"
+#include "soc/soc.hpp"
+
+namespace nextgov::governors {
+
+class FreqGovernor {
+ public:
+  virtual ~FreqGovernor() = default;
+  /// How often control() runs (engine rounds to whole steps).
+  [[nodiscard]] virtual SimTime period() const = 0;
+  /// Picks operating indices; must respect cluster caps (Cluster clamps).
+  virtual void control(const Observation& obs, soc::Soc& soc) = 0;
+  virtual void reset() {}
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+class MetaGovernor {
+ public:
+  virtual ~MetaGovernor() = default;
+  /// How often control() runs (Next: 100 ms per Section IV-B).
+  [[nodiscard]] virtual SimTime period() const = 0;
+  /// Optional high-rate observation tap (Next samples FPS every 25 ms);
+  /// return SimTime::zero() when unused.
+  [[nodiscard]] virtual SimTime sample_period() const { return SimTime::zero(); }
+  virtual void on_sample(const Observation& /*obs*/) {}
+  /// Adjusts cluster caps.
+  virtual void control(const Observation& obs, soc::Soc& soc) = 0;
+  virtual void reset() {}
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace nextgov::governors

@@ -1,0 +1,39 @@
+// observation.hpp - what a governor is allowed to see.
+//
+// Governors (including the application-layer Next agent) observe the system
+// only through this snapshot: sensor readings, the sliding frame rate, and
+// per-cluster utilization/frequency state - exactly the quantities available
+// on a stock Android device via sysfs, SurfaceFlinger and the fuel gauge.
+// They never see simulator-internal ground truth (true power before sensor
+// quantization, app phase, future workload).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+#include "soc/sensors.hpp"
+
+namespace nextgov::governors {
+
+/// Per-cluster view (indices match soc::Soc cluster order: big, LITTLE, GPU).
+struct ClusterObservation {
+  std::size_t freq_index{0};   ///< current operating index
+  std::size_t cap_index{0};    ///< current maxfreq cap index
+  std::size_t opp_count{0};    ///< size of the OPP table
+  KiloHertz frequency;         ///< current operating frequency
+  KiloHertz max_frequency;     ///< highest OPP (for capacity scaling)
+  double busy_hot{0.0};        ///< busiest-PE busy fraction at current freq
+  double busy_avg{0.0};        ///< cluster-mean busy fraction at current freq
+};
+
+struct Observation {
+  SimTime now;
+  std::vector<ClusterObservation> clusters;
+  Fps fps;                      ///< front-buffer update rate, trailing 1 s
+  double drop_rate{0.0};        ///< missed-deadline VSyncs/s, trailing 1 s
+  soc::SensorReadings sensors;  ///< quantized temperature + power readings
+};
+
+}  // namespace nextgov::governors

@@ -1,0 +1,48 @@
+#include "governors/schedutil.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nextgov::governors {
+
+SchedutilGovernor::SchedutilGovernor(SchedutilParams params) : params_{params} {
+  require(params_.headroom >= 1.0, "schedutil headroom must be >= 1");
+  require(params_.period.us() > 0, "schedutil period must be positive");
+  require(params_.gpu_down_threshold < params_.gpu_up_threshold,
+          "GPU watermarks must satisfy down < up");
+}
+
+void SchedutilGovernor::reset() { util_ema_.clear(); }
+
+void SchedutilGovernor::control(const Observation& obs, soc::Soc& soc) {
+  if (util_ema_.size() != obs.clusters.size()) util_ema_.assign(obs.clusters.size(), 0.0);
+
+  for (std::size_t i = 0; i < soc.cluster_count(); ++i) {
+    auto& cluster = soc.cluster(i);
+    const auto& c = obs.clusters[i];
+    // Capacity-invariant utilization of the busiest PE (what PELT tracks).
+    const double util_cap = std::clamp(c.busy_hot * (c.frequency / c.max_frequency), 0.0, 1.0);
+    // Instant rise, smoothed decay.
+    if (util_cap >= util_ema_[i]) {
+      util_ema_[i] = util_cap;
+    } else {
+      util_ema_[i] += params_.down_smoothing * (util_cap - util_ema_[i]);
+    }
+
+    if (cluster.kind() == soc::ClusterKind::kGpu) {
+      // Mali step governor on raw busy fraction at the current clock.
+      if (c.busy_hot > params_.gpu_up_threshold) {
+        cluster.set_freq_index(std::min(cluster.freq_index() + 1, cluster.max_cap_index()));
+      } else if (c.busy_hot < params_.gpu_down_threshold && cluster.freq_index() > 0) {
+        cluster.set_freq_index(cluster.freq_index() - 1);
+      }
+      continue;
+    }
+
+    const KiloHertz target = params_.headroom * util_ema_[i] * c.max_frequency;
+    cluster.request_frequency(target);
+  }
+}
+
+}  // namespace nextgov::governors

@@ -1,0 +1,44 @@
+// schedutil.hpp - the stock Android/Linux frequency governor.
+//
+// Reimplements the control law of the kernel's schedutil governor (the only
+// governor on the paper's Note 9, Section III-A) for the two CPU clusters:
+//
+//   f_next = headroom * f_max * util_cap ,  util_cap = busy * f_cur / f_max
+//
+// with headroom = 1.25 ("util + util/4" in the kernel) and the next OPP at
+// or above f_next selected. Utilization tracking mimics PELT's asymmetry:
+// rises take effect immediately, decays are exponentially smoothed.
+//
+// The Mali GPU uses the vendor's step governor: utilization above a high
+// watermark steps one OPP up, below a low watermark steps one down.
+#pragma once
+
+#include <vector>
+
+#include "governors/governor.hpp"
+
+namespace nextgov::governors {
+
+struct SchedutilParams {
+  double headroom{1.25};           ///< kernel's 1.25x margin
+  double down_smoothing{0.30};     ///< EMA weight for utilization decay
+  double gpu_up_threshold{0.90};   ///< Mali step-up watermark
+  double gpu_down_threshold{0.60}; ///< Mali step-down watermark
+  SimTime period{SimTime::from_ms(20)};  ///< rate limit / evaluation period
+};
+
+class SchedutilGovernor final : public FreqGovernor {
+ public:
+  explicit SchedutilGovernor(SchedutilParams params = {});
+
+  [[nodiscard]] SimTime period() const override { return params_.period; }
+  void control(const Observation& obs, soc::Soc& soc) override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const override { return "schedutil"; }
+
+ private:
+  SchedutilParams params_;
+  std::vector<double> util_ema_;  ///< per-cluster smoothed capacity-utilization
+};
+
+}  // namespace nextgov::governors

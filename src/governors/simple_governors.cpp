@@ -1,0 +1,37 @@
+#include "governors/simple_governors.hpp"
+
+#include "common/error.hpp"
+
+namespace nextgov::governors {
+
+void PerformanceGovernor::control(const Observation& /*obs*/, soc::Soc& soc) {
+  for (auto& cluster : soc.clusters()) cluster.set_freq_index(cluster.max_cap_index());
+}
+
+void PowersaveGovernor::control(const Observation& /*obs*/, soc::Soc& soc) {
+  for (auto& cluster : soc.clusters()) cluster.set_freq_index(cluster.min_cap_index());
+}
+
+OndemandGovernor::OndemandGovernor(double up_threshold, SimTime period)
+    : up_threshold_{up_threshold}, period_{period} {
+  require(up_threshold > 0.0 && up_threshold <= 1.0, "ondemand threshold in (0,1]");
+  require(period.us() > 0, "ondemand period must be positive");
+}
+
+void OndemandGovernor::control(const Observation& obs, soc::Soc& soc) {
+  for (std::size_t i = 0; i < soc.cluster_count(); ++i) {
+    auto& cluster = soc.cluster(i);
+    const auto& c = obs.clusters[i];
+    if (c.busy_hot > up_threshold_) {
+      cluster.set_freq_index(cluster.max_cap_index());
+    } else if (cluster.freq_index() > cluster.min_cap_index()) {
+      // Step down while the lower OPP would still keep utilization below
+      // the threshold (ondemand's "find lowest sufficient frequency").
+      const double projected =
+          c.busy_hot * (cluster.frequency() / cluster.opps()[cluster.freq_index() - 1].frequency);
+      if (projected < up_threshold_) cluster.set_freq_index(cluster.freq_index() - 1);
+    }
+  }
+}
+
+}  // namespace nextgov::governors

@@ -1,0 +1,27 @@
+#include "render/fps_counter.hpp"
+
+#include "common/error.hpp"
+
+namespace nextgov::render {
+
+SlidingFpsCounter::SlidingFpsCounter(SimTime window) : window_{window} {
+  require(window.us() > 0, "FPS window must be positive");
+}
+
+void SlidingFpsCounter::on_present(SimTime t) {
+  NEXTGOV_ASSERT(presents_.empty() || t >= presents_.back());
+  presents_.push_back(t);
+}
+
+void SlidingFpsCounter::evict(SimTime now) const {
+  const SimTime cutoff = now - window_;
+  while (!presents_.empty() && presents_.front() <= cutoff) presents_.pop_front();
+}
+
+Fps SlidingFpsCounter::fps(SimTime now) const {
+  evict(now);
+  const double scale = 1.0 / window_.seconds();
+  return Fps{static_cast<double>(presents_.size()) * scale};
+}
+
+}  // namespace nextgov::render

@@ -1,0 +1,37 @@
+// fps_counter.hpp - sliding-window frame-rate measurement.
+//
+// "FPS_current ... is the frame rate of the front buffer of VSync"
+// (Section IV-A): we count front-buffer updates (presented frames) inside a
+// trailing window. The Next agent samples this every 25 ms; the recorder
+// samples it at its own cadence.
+#pragma once
+
+#include <deque>
+
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+
+namespace nextgov::render {
+
+class SlidingFpsCounter {
+ public:
+  /// `window` is the trailing measurement horizon (default 1 s, so the
+  /// reading is directly in frames-per-second).
+  explicit SlidingFpsCounter(SimTime window = SimTime::from_ms(1000));
+
+  /// Records one presented frame at time `t`.
+  void on_present(SimTime t);
+
+  /// Frames presented in (now - window, now], scaled to per-second units.
+  [[nodiscard]] Fps fps(SimTime now) const;
+
+  void clear() noexcept { presents_.clear(); }
+
+ private:
+  void evict(SimTime now) const;
+
+  SimTime window_;
+  mutable std::deque<SimTime> presents_;
+};
+
+}  // namespace nextgov::render

@@ -1,0 +1,32 @@
+// frame.hpp - frame jobs and the interface apps use to feed the pipeline.
+//
+// Interaction between user and app happens through the display (paper
+// Fig. 2): touches trigger app functions which submit frames. A FrameJob
+// carries the computational cost of one frame: CPU cycles (UI thread /
+// RenderThread work, executed on one big core in our model) and GPU cycles
+// (normalized per GPU core, executed at the GPU clock).
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace nextgov::render {
+
+/// Cost of producing one frame.
+struct FrameJob {
+  double cpu_cycles{0.0};  ///< big-core cycles to record/prepare the frame
+  double gpu_cycles{0.0};  ///< per-GPU-core cycles to rasterize the frame
+};
+
+/// Producer side of the pipeline; implemented by workload::App.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  /// True when the app wants to start rendering another frame now
+  /// (animation running, game loop active, video cadence due...).
+  [[nodiscard]] virtual bool wants_frame(SimTime now) = 0;
+  /// Pops the next frame's cost. Called only after wants_frame() was true;
+  /// consumes cadence credit for rate-limited sources.
+  [[nodiscard]] virtual FrameJob begin_frame(SimTime now) = 0;
+};
+
+}  // namespace nextgov::render

@@ -1,0 +1,28 @@
+#include "rl/convergence.hpp"
+
+#include <cmath>
+
+namespace nextgov::rl {
+
+ConvergenceDetector::ConvergenceDetector(ConvergenceParams params) : params_{params} {}
+
+void ConvergenceDetector::reset() noexcept {
+  ema_ = 1.0;
+  updates_ = 0;
+  below_count_ = 0;
+  converged_ = false;
+}
+
+bool ConvergenceDetector::add(double td_error) noexcept {
+  if (converged_) return true;
+  ++updates_;
+  ema_ += params_.ema_alpha * (std::fabs(td_error) - ema_);
+  if (updates_ >= params_.min_updates && ema_ < params_.td_threshold) {
+    if (++below_count_ >= params_.confirm_updates) converged_ = true;
+  } else {
+    below_count_ = 0;
+  }
+  return converged_;
+}
+
+}  // namespace nextgov::rl

@@ -1,0 +1,55 @@
+// discretizer.hpp - state quantization and packing.
+//
+// Section IV-B: "quantizing the frame rate would be desirable for improved
+// training time" - the number of FPS quantization levels is the central
+// training-time knob (Fig. 6; 30 levels were found best). LinearBins
+// quantizes a continuous signal into equal-width bins; MixedRadixPacker
+// packs several bounded fields into one 64-bit StateKey without collisions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/qtable.hpp"
+
+namespace nextgov::rl {
+
+/// Equal-width binning of [lo, hi] into `bins` levels; values outside the
+/// range clamp to the edge bins.
+class LinearBins {
+ public:
+  LinearBins(double lo, double hi, std::size_t bins);
+
+  [[nodiscard]] std::size_t bin(double value) const noexcept;
+  /// Representative (bin center) value for a bin index.
+  [[nodiscard]] double center(std::size_t bin_index) const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return bins_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+};
+
+/// Packs fields f0..fn-1 with cardinalities c0..cn-1 into
+/// key = f0 + c0*(f1 + c1*(f2 + ...)). Construction fails if the product of
+/// cardinalities overflows 64 bits.
+class MixedRadixPacker {
+ public:
+  /// Declares the next field; returns its position.
+  std::size_t add_field(std::size_t cardinality);
+
+  [[nodiscard]] std::size_t field_count() const noexcept { return cards_.size(); }
+  [[nodiscard]] std::uint64_t state_space_size() const noexcept { return total_; }
+
+  /// Encodes one value per declared field (each < its cardinality).
+  [[nodiscard]] StateKey encode(const std::vector<std::size_t>& fields) const;
+  /// Decodes back into field values (inverse of encode).
+  [[nodiscard]] std::vector<std::size_t> decode(StateKey key) const;
+
+ private:
+  std::vector<std::size_t> cards_;
+  std::uint64_t total_{1};
+};
+
+}  // namespace nextgov::rl

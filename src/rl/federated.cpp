@@ -1,0 +1,53 @@
+#include "rl/federated.hpp"
+
+#include "common/error.hpp"
+
+namespace nextgov::rl {
+
+QTable merge_q_tables(std::span<const QTable* const> tables) {
+  require(!tables.empty(), "merge_q_tables needs at least one table");
+  const std::size_t actions = tables.front()->action_count();
+  for (const QTable* t : tables) {
+    require(t != nullptr, "merge_q_tables: null table");
+    require(t->action_count() == actions, "merge_q_tables: action count mismatch");
+  }
+
+  QTable merged{actions};
+  // Accumulate visit-weighted sums per (state, action). Only actions a
+  // device actually *tried* contribute - untried entries still carry the
+  // optimistic initialization value and must not pollute the average.
+  struct Acc {
+    std::vector<double> weighted_q;
+    std::vector<double> weight;
+    std::uint64_t visits{0};
+  };
+  std::unordered_map<StateKey, Acc> acc;
+  for (const QTable* t : tables) {
+    for (const auto& [key, e] : t->entries()) {
+      auto [it, inserted] = acc.try_emplace(key);
+      if (inserted) {
+        it->second.weighted_q.assign(actions, 0.0);
+        it->second.weight.assign(actions, 0.0);
+      }
+      // Visit count + 1 so tables with zero recorded visits still count.
+      const double w = static_cast<double>(e.visits) + 1.0;
+      for (std::size_t a = 0; a < actions && a < 32; ++a) {
+        if ((e.tried & (1u << a)) == 0) continue;
+        it->second.weighted_q[a] += w * static_cast<double>(e.q[a]);
+        it->second.weight[a] += w;
+      }
+      it->second.visits += e.visits;
+    }
+  }
+  for (const auto& [key, a] : acc) {
+    for (std::size_t action = 0; action < actions; ++action) {
+      if (a.weight[action] > 0.0) {
+        merged.set_q(key, action, a.weighted_q[action] / a.weight[action]);
+      }
+    }
+    merged.add_visits(key, a.visits);
+  }
+  return merged;
+}
+
+}  // namespace nextgov::rl

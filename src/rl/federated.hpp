@@ -1,0 +1,35 @@
+// federated.hpp - cloud / federated training support (paper Section IV-C).
+//
+// Manufacturers ship many devices running the same apps; Section IV-C
+// proposes aggregating their training in the cloud (federated learning) and
+// pushing merged action-values back. Two pieces:
+//
+//   merge_q_tables  - visit-weighted federated averaging of per-device
+//                     Q-tables (FedAvg applied to tabular action-values);
+//   CloudTimingModel- converts a measured host-side training wall time into
+//                     the end-to-end "cloud training time" the device
+//                     perceives (compute + the paper's measured ~4 s
+//                     round-trip communication overhead).
+#pragma once
+
+#include <span>
+
+#include "rl/qtable.hpp"
+
+namespace nextgov::rl {
+
+/// Visit-weighted average of several Q-tables (all must share the action
+/// count). States unknown to a device contribute weight 0 for that device.
+/// With a single table this is the identity.
+[[nodiscard]] QTable merge_q_tables(std::span<const QTable* const> tables);
+
+struct CloudTimingModel {
+  double comm_overhead_s{4.0};  ///< to-and-fro device<->cloud (Section IV-C)
+
+  /// End-to-end time the device waits for cloud-trained action values.
+  [[nodiscard]] double total_time_s(double cloud_compute_s) const noexcept {
+    return cloud_compute_s + comm_overhead_s;
+  }
+};
+
+}  // namespace nextgov::rl

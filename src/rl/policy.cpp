@@ -1,0 +1,29 @@
+#include "rl/policy.hpp"
+
+#include "common/error.hpp"
+
+namespace nextgov::rl {
+
+double EpsilonSchedule::at(std::uint64_t step) const noexcept {
+  if (decay_steps == 0 || step >= decay_steps) return end;
+  const double t = static_cast<double>(step) / static_cast<double>(decay_steps);
+  return start + t * (end - start);
+}
+
+EpsilonGreedyPolicy::EpsilonGreedyPolicy(EpsilonSchedule schedule) : schedule_{schedule} {
+  require(schedule.start >= 0.0 && schedule.start <= 1.0, "epsilon start in [0,1]");
+  require(schedule.end >= 0.0 && schedule.end <= schedule.start,
+          "epsilon end in [0, start]");
+}
+
+std::size_t EpsilonGreedyPolicy::select(const QTable& table, StateKey state, Rng& rng) {
+  const double eps = schedule_.at(step_);
+  ++step_;
+  if (rng.bernoulli(eps)) {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(table.action_count()) - 1));
+  }
+  return table.best_action(state);
+}
+
+}  // namespace nextgov::rl

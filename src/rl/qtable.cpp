@@ -1,0 +1,156 @@
+#include "rl/qtable.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace nextgov::rl {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4e584754;  // "NXGT"
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+}
+}  // namespace
+
+QTable::QTable(std::size_t action_count, double default_q)
+    : actions_{action_count}, default_q_{default_q} {
+  require(action_count > 0, "QTable needs at least one action");
+}
+
+QTable::Entry& QTable::entry(StateKey s) {
+  auto [it, inserted] = table_.try_emplace(s);
+  if (inserted) it->second.q.assign(actions_, static_cast<float>(default_q_));
+  return it->second;
+}
+
+double QTable::q(StateKey s, std::size_t a) const noexcept {
+  NEXTGOV_ASSERT(a < actions_);
+  const auto it = table_.find(s);
+  return it == table_.end() ? default_q_ : static_cast<double>(it->second.q[a]);
+}
+
+void QTable::set_q(StateKey s, std::size_t a, double value) {
+  NEXTGOV_ASSERT(a < actions_);
+  Entry& e = entry(s);
+  e.q[a] = static_cast<float>(value);
+  if (a < 32) e.tried |= (1u << a);
+}
+
+double QTable::max_q(StateKey s) const noexcept {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return default_q_;
+  float best = it->second.q[0];
+  for (float v : it->second.q) best = v > best ? v : best;
+  return static_cast<double>(best);
+}
+
+std::size_t QTable::best_action(StateKey s, std::size_t fallback) const noexcept {
+  const auto it = table_.find(s);
+  if (it == table_.end()) return fallback;
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < actions_; ++a) {
+    if (it->second.q[a] > it->second.q[best]) best = a;
+  }
+  return best;
+}
+
+std::size_t QTable::best_tried_action(StateKey s, std::size_t fallback) const noexcept {
+  const auto it = table_.find(s);
+  if (it == table_.end() || it->second.tried == 0) return fallback;
+  std::size_t best = fallback;
+  bool found = false;
+  for (std::size_t a = 0; a < actions_ && a < 32; ++a) {
+    if ((it->second.tried & (1u << a)) == 0) continue;
+    if (!found || it->second.q[a] > it->second.q[best]) {
+      best = a;
+      found = true;
+    }
+  }
+  return best;
+}
+
+void QTable::record_visit(StateKey s) {
+  ++entry(s).visits;
+  ++total_visits_;
+}
+
+void QTable::add_visits(StateKey s, std::uint64_t n) {
+  entry(s).visits += n;
+  total_visits_ += n;
+}
+
+std::uint64_t QTable::visits(StateKey s) const noexcept {
+  const auto it = table_.find(s);
+  return it == table_.end() ? 0 : it->second.visits;
+}
+
+void QTable::clear() {
+  table_.clear();
+  total_visits_ = 0;
+}
+
+void QTable::save(const std::string& path) const {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw IoError("cannot open Q-table for writing: " + path);
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(actions_));
+  write_pod(out, static_cast<std::uint64_t>(table_.size()));
+  write_pod(out, total_visits_);
+  for (const auto& [key, e] : table_) {
+    write_pod(out, key);
+    write_pod(out, e.visits);
+    write_pod(out, e.tried);
+    out.write(reinterpret_cast<const char*>(e.q.data()),
+              static_cast<std::streamsize>(e.q.size() * sizeof(float)));
+  }
+  if (!out) throw IoError("failed writing Q-table: " + path);
+}
+
+QTable QTable::load(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw IoError("cannot open Q-table: " + path);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  read_pod(in, magic);
+  read_pod(in, version);
+  if (magic != kMagic) throw IoError("not a nextgov Q-table: " + path);
+  if (version != kVersion) throw IoError("unsupported Q-table version in " + path);
+  std::uint64_t actions = 0;
+  std::uint64_t states = 0;
+  std::uint64_t total_visits = 0;
+  read_pod(in, actions);
+  read_pod(in, states);
+  read_pod(in, total_visits);
+  if (!in || actions == 0) throw IoError("corrupt Q-table header: " + path);
+  QTable t{static_cast<std::size_t>(actions)};
+  t.total_visits_ = total_visits;
+  for (std::uint64_t i = 0; i < states; ++i) {
+    StateKey key = 0;
+    std::uint64_t visits = 0;
+    std::uint32_t tried = 0;
+    read_pod(in, key);
+    read_pod(in, visits);
+    read_pod(in, tried);
+    Entry e;
+    e.visits = visits;
+    e.tried = tried;
+    e.q.resize(actions);
+    in.read(reinterpret_cast<char*>(e.q.data()),
+            static_cast<std::streamsize>(actions * sizeof(float)));
+    if (!in) throw IoError("truncated Q-table: " + path);
+    t.table_.emplace(key, std::move(e));
+  }
+  return t;
+}
+
+}  // namespace nextgov::rl

@@ -1,0 +1,89 @@
+// qtable.hpp - sparse tabular action-value storage.
+//
+// The Next state space (3 frequency indices x 2 quantized FPS values x
+// quantized power and two temperatures, Section IV-B) has ~10^8 nominal
+// states but a session only visits a tiny manifold, so the table is a hash
+// map keyed by a packed 64-bit state index. Per-state visit counts support
+// the federated averaging of Section IV-C. "The Q-table (action-value)
+// results are stored on the memory so that later when the application is
+// executed again the agent is able to refer to the Q-table": save()/load()
+// provide that per-app persistence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nextgov::rl {
+
+using StateKey = std::uint64_t;
+
+class QTable {
+ public:
+  /// `default_q` is the value new entries start from. A value above the
+  /// maximum achievable return ("optimistic initialization") makes the
+  /// learner systematically try every action in every visited state, which
+  /// is what lets Next converge within the paper's minutes-scale training
+  /// budget. Persistence does not store it: a loaded table is already
+  /// trained and is used greedily.
+  explicit QTable(std::size_t action_count, double default_q = 0.0);
+
+  [[nodiscard]] std::size_t action_count() const noexcept { return actions_; }
+  /// Number of distinct states ever touched.
+  [[nodiscard]] std::size_t state_count() const noexcept { return table_.size(); }
+
+  [[nodiscard]] double default_q() const noexcept { return default_q_; }
+
+  /// Q(s, a); default_q for never-visited entries.
+  [[nodiscard]] double q(StateKey s, std::size_t a) const noexcept;
+  /// Mutable access; creates the state entry on demand.
+  void set_q(StateKey s, std::size_t a, double value);
+
+  /// max_a Q(s, a); default_q for unknown states.
+  [[nodiscard]] double max_q(StateKey s) const noexcept;
+  /// argmax_a Q(s, a); ties break to the lowest action index, unknown
+  /// states return `fallback`.
+  [[nodiscard]] std::size_t best_action(StateKey s, std::size_t fallback = 0) const noexcept;
+
+  /// argmax over actions that have actually been updated at least once;
+  /// untried actions still carry the optimistic default and must not win
+  /// greedy *deployment* decisions. Returns `fallback` when the state is
+  /// unknown or nothing was tried.
+  [[nodiscard]] std::size_t best_tried_action(StateKey s,
+                                              std::size_t fallback = 0) const noexcept;
+
+  /// Visit bookkeeping (used for federated weighting and diagnostics).
+  void record_visit(StateKey s);
+  /// Bulk visit accounting (used by the federated merge).
+  void add_visits(StateKey s, std::uint64_t n);
+  [[nodiscard]] std::uint64_t visits(StateKey s) const noexcept;
+  [[nodiscard]] std::uint64_t total_visits() const noexcept { return total_visits_; }
+
+  void clear();
+
+  /// Binary persistence (magic + version header). Throws IoError.
+  void save(const std::string& path) const;
+  [[nodiscard]] static QTable load(const std::string& path);
+
+  /// Iteration support for merging/inspection.
+  struct Entry {
+    std::vector<float> q;
+    std::uint64_t visits{0};
+    std::uint32_t tried{0};  ///< bitmask: action a was updated at least once
+  };
+  [[nodiscard]] const std::unordered_map<StateKey, Entry>& entries() const noexcept {
+    return table_;
+  }
+
+ private:
+  Entry& entry(StateKey s);
+
+  std::size_t actions_;
+  double default_q_{0.0};
+  std::unordered_map<StateKey, Entry> table_;
+  std::uint64_t total_visits_{0};
+};
+
+}  // namespace nextgov::rl

@@ -1,0 +1,124 @@
+// engine.hpp - the fixed-step discrete-time simulation loop.
+//
+// Wires the substrates together at a 1 ms step:
+//
+//   app behaviour -> render pipeline (VSync/triple buffering) -> cluster
+//   utilization -> power model -> RC thermal network -> sensors ->
+//   governors (kernel FreqGovernor + application-layer MetaGovernor)
+//
+// The kernel governor reselects operating points every ~20 ms; the meta
+// governor (Next / Int. QoS PM) adjusts maxfreq caps at its own period and,
+// for Next, taps the 25 ms FPS sample stream. This mirrors the paper's
+// deployment: an application-layer agent above the stock schedutil.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "governors/governor.hpp"
+#include "render/pipeline.hpp"
+#include "sim/recorder.hpp"
+#include "soc/soc.hpp"
+#include "thermal/note9_model.hpp"
+#include "workload/app.hpp"
+
+namespace nextgov::sim {
+
+struct EngineConfig {
+  SimTime step{SimTime::from_ms(1)};
+  Celsius ambient{Celsius{21.0}};  ///< paper: thermostat-controlled 21 C
+  /// Display refresh rate. 60 Hz throughout the paper's evaluation, but
+  /// Section I notes 90/120 Hz panels exist; the whole stack (VSync,
+  /// frame-drop semantics, FPS counters) honours this knob. For Next on a
+  /// high-refresh panel also raise NextConfig::ppdw_bounds.fps_max.
+  double refresh_hz{60.0};
+  /// Extra LITTLE-cluster utilization while a meta governor (the
+  /// application-layer agent) is installed; Next "runs on the most power
+  /// efficient CPU, which is the LITTLE CPU" (Section IV-A).
+  double agent_little_util{0.02};
+  SimTime record_period{SimTime::from_seconds(1.0)};
+  /// Emergency thermal throttling (the SoC's hardware protection): when a
+  /// junction sensor exceeds the limit the engine lowers a per-cluster
+  /// frequency ceiling one OPP per evaluation; it relaxes again below
+  /// (limit - hysteresis). Independent of (and beneath) governor caps.
+  bool thermal_throttle{true};
+  double throttle_limit_c{92.0};
+  double throttle_hysteresis_c{7.0};
+  SimTime throttle_period{SimTime::from_ms(100)};
+};
+
+/// Aggregate statistics accumulated every step (not just at record points).
+struct EngineTotals {
+  RunningStats power_w;
+  RunningStats temp_big_c;
+  RunningStats temp_device_c;
+  double energy_j{0.0};
+  std::int64_t frames_presented{0};
+  std::int64_t frames_dropped{0};
+};
+
+class Engine {
+ public:
+  /// `meta_gov` may be null (stock configuration).
+  Engine(soc::Soc soc, std::unique_ptr<workload::App> app,
+         std::unique_ptr<governors::FreqGovernor> freq_gov,
+         std::unique_ptr<governors::MetaGovernor> meta_gov, EngineConfig config = {});
+
+  /// Runs for `duration` of simulated time.
+  void run(SimTime duration);
+  /// Executes exactly one engine step.
+  void step();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] soc::Soc& soc() noexcept { return soc_; }
+  [[nodiscard]] const soc::Soc& soc() const noexcept { return soc_; }
+  [[nodiscard]] workload::App& app() noexcept { return *app_; }
+  [[nodiscard]] governors::MetaGovernor* meta() noexcept { return meta_gov_.get(); }
+  [[nodiscard]] const thermal::RcNetwork& thermal() const noexcept { return thermal_.network; }
+  [[nodiscard]] const render::RenderPipeline& pipeline() const noexcept { return pipeline_; }
+  [[nodiscard]] const Recorder& recorder() const noexcept { return recorder_; }
+  [[nodiscard]] Recorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] const EngineTotals& totals() const noexcept { return totals_; }
+  [[nodiscard]] const governors::Observation& observation() const noexcept { return obs_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Mean FPS over the whole run (presented frames / elapsed time).
+  [[nodiscard]] double average_fps() const noexcept;
+
+  /// Resets thermal state and pipeline for a fresh session while keeping
+  /// learned governor state (used between training episodes).
+  void reset_session(std::unique_ptr<workload::App> new_app);
+
+ private:
+  void rebuild_observation();
+  void update_loads(const render::PipelineStepResult& pr);
+  void run_governors();
+  void apply_thermal_throttle();
+  void record_if_due();
+
+  EngineConfig config_;
+  soc::Soc soc_;
+  thermal::Note9Thermal thermal_;
+  render::RenderPipeline pipeline_;
+  std::unique_ptr<workload::App> app_;
+  std::unique_ptr<governors::FreqGovernor> freq_gov_;
+  std::unique_ptr<governors::MetaGovernor> meta_gov_;
+
+  SimTime now_{SimTime::zero()};
+  SimTime next_freq_gov_{SimTime::zero()};
+  SimTime next_meta_{SimTime::zero()};
+  SimTime next_meta_sample_{SimTime::zero()};
+  SimTime next_record_{SimTime::zero()};
+  SimTime next_throttle_{SimTime::zero()};
+  std::vector<std::size_t> throttle_ceiling_;
+
+  std::vector<soc::ClusterLoad> loads_;
+  Watts device_power_{Watts{0.0}};
+  governors::Observation obs_;
+  Recorder recorder_;
+  EngineTotals totals_;
+};
+
+}  // namespace nextgov::sim

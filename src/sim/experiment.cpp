@@ -1,0 +1,177 @@
+#include "sim/experiment.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "governors/intqos.hpp"
+#include "governors/schedutil.hpp"
+#include "governors/simple_governors.hpp"
+
+namespace nextgov::sim {
+
+std::string_view to_string(GovernorKind kind) noexcept {
+  switch (kind) {
+    case GovernorKind::kSchedutil: return "schedutil";
+    case GovernorKind::kPerformance: return "performance";
+    case GovernorKind::kPowersave: return "powersave";
+    case GovernorKind::kOndemand: return "ondemand";
+    case GovernorKind::kIntQos: return "intqos";
+    case GovernorKind::kNext: return "next";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<governors::FreqGovernor> make_freq_governor(GovernorKind kind) {
+  switch (kind) {
+    case GovernorKind::kPerformance: return std::make_unique<governors::PerformanceGovernor>();
+    case GovernorKind::kPowersave: return std::make_unique<governors::PowersaveGovernor>();
+    case GovernorKind::kOndemand: return std::make_unique<governors::OndemandGovernor>();
+    // schedutil underlies the stock config and both meta governors.
+    case GovernorKind::kSchedutil:
+    case GovernorKind::kIntQos:
+    case GovernorKind::kNext: return std::make_unique<governors::SchedutilGovernor>();
+  }
+  throw ConfigError("unknown governor kind");
+}
+
+std::unique_ptr<governors::MetaGovernor> make_meta_governor(const ExperimentConfig& config,
+                                                            const soc::Soc& soc) {
+  switch (config.governor) {
+    case GovernorKind::kIntQos: return std::make_unique<governors::IntQosGovernor>();
+    case GovernorKind::kNext: {
+      auto agent = core::make_next_agent(soc, config.next_config, config.seed ^ 0xa9e27);
+      if (config.trained_table != nullptr) {
+        agent->set_q_table(*config.trained_table);
+        agent->set_mode(core::AgentMode::kDeployed);
+      } else {
+        agent->set_mode(config.next_mode);
+      }
+      return agent;
+    }
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Engine> make_engine(AppFactory app_factory, const ExperimentConfig& config) {
+  require(static_cast<bool>(app_factory), "make_engine needs an app factory");
+  auto soc = soc::make_exynos9810();
+  auto meta = make_meta_governor(config, soc);
+  EngineConfig engine_config;
+  engine_config.ambient = config.ambient;
+  engine_config.record_period = config.record_period;
+  return std::make_unique<Engine>(std::move(soc), app_factory(config.seed),
+                                  make_freq_governor(config.governor), std::move(meta),
+                                  engine_config);
+}
+
+SessionResult summarize(const Engine& engine, std::string app_name, std::string governor_name) {
+  SessionResult r;
+  r.app = std::move(app_name);
+  r.governor = std::move(governor_name);
+  r.duration_s = engine.now().seconds();
+  const auto& totals = engine.totals();
+  r.avg_power_w = totals.power_w.mean();
+  r.peak_power_w = totals.power_w.max();
+  r.avg_temp_big_c = totals.temp_big_c.mean();
+  r.peak_temp_big_c = totals.temp_big_c.max();
+  r.avg_temp_device_c = totals.temp_device_c.mean();
+  r.peak_temp_device_c = totals.temp_device_c.max();
+  r.avg_fps = engine.average_fps();
+  r.energy_j = totals.energy_j;
+  r.frames_presented = totals.frames_presented;
+  r.frames_dropped = totals.frames_dropped;
+  const auto ppdw_series = engine.recorder().column(&Sample::ppdw);
+  r.avg_ppdw = mean_of(ppdw_series);
+  r.series = engine.recorder().samples();
+  return r;
+}
+
+SessionResult run_session(AppFactory app_factory, std::string app_name,
+                          const ExperimentConfig& config) {
+  auto engine = make_engine(std::move(app_factory), config);
+  engine->run(config.duration);
+  return summarize(*engine, std::move(app_name), std::string{to_string(config.governor)});
+}
+
+SessionResult run_app_session(workload::AppId app, const ExperimentConfig& config) {
+  return run_session(
+      [app](std::uint64_t seed) { return workload::make_app(app, seed); },
+      std::string{workload::to_string(app)}, config);
+}
+
+TrainingResult train_next_on(AppFactory app_factory, const core::NextConfig& config,
+                             const TrainingOptions& options) {
+  require(static_cast<bool>(app_factory), "train_next_on needs an app factory");
+  ExperimentConfig exp;
+  exp.governor = GovernorKind::kNext;
+  exp.seed = options.seed;
+  exp.ambient = options.ambient;
+  exp.next_config = config;
+  exp.next_mode = core::AgentMode::kTraining;
+
+  auto engine = make_engine(app_factory, exp);
+  auto* agent = dynamic_cast<core::NextAgent*>(engine->meta());
+  NEXTGOV_ASSERT(agent != nullptr);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  SimTime trained = SimTime::zero();
+  std::uint64_t episode = 0;
+  bool converged = false;
+  double sim_seconds_at_convergence = 0.0;
+  const SimTime check_chunk = SimTime::from_seconds(1.0);
+
+  // Convergence = TD errors settled (agent-side detector) AND the state
+  // space stopped growing: the agent keeps discovering new quantized
+  // states for as long as the discretization is finer, which is exactly
+  // what makes finer FPS quantization train longer (the paper's Fig. 6).
+  std::size_t prev_states = 0;
+  int settled_chunks = 0;
+  constexpr int kCoverageSettleChunks = 45;  // 45 s without real discovery
+
+  while (trained < options.max_duration) {
+    SimTime episode_left = options.episode_length;
+    while (episode_left.us() > 0 && trained < options.max_duration) {
+      const SimTime chunk = std::min(check_chunk, episode_left);
+      engine->run(chunk);
+      trained += chunk;
+      episode_left = episode_left - chunk;
+      const std::size_t states_now = agent->q_table().state_count();
+      settled_chunks = (states_now - prev_states <= 1) ? settled_chunks + 1 : 0;
+      prev_states = states_now;
+      // The TD-EMA detector alone is dominated by reward noise and the
+      // epsilon schedule; coverage settling is what actually scales with
+      // the discretization (Fig. 6). Require both a minimum learning
+      // volume and a sustained stop in state discovery.
+      if (!converged && agent->decisions() > 2000 && settled_chunks >= kCoverageSettleChunks) {
+        converged = true;
+        sim_seconds_at_convergence = trained.seconds();
+      }
+      if (converged && options.stop_at_convergence) break;
+    }
+    if (converged && options.stop_at_convergence) break;
+    ++episode;
+    // User re-opens the app: fresh app instance + cold thermal state, but
+    // the learned Q-table persists (Section IV-B).
+    engine->reset_session(app_factory(options.seed + episode + 1));
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  TrainingResult result{agent->q_table(), converged,
+                        converged ? sim_seconds_at_convergence : trained.seconds(),
+                        std::chrono::duration<double>(wall_end - wall_start).count(),
+                        agent->decisions(), agent->mean_reward(),
+                        agent->q_table().state_count()};
+  return result;
+}
+
+TrainingResult train_next(workload::AppId app, const core::NextConfig& config,
+                          const TrainingOptions& options) {
+  return train_next_on([app](std::uint64_t seed) { return workload::make_app(app, seed); },
+                       config, options);
+}
+
+}  // namespace nextgov::sim

@@ -1,0 +1,118 @@
+// experiment.hpp - the evaluation harness.
+//
+// One call = one of the paper's measurements: run an app under a governor
+// configuration for a session and collect the summary statistics the
+// figures report (average power, average/peak temperatures, FPS, PPDW).
+// Training helpers reproduce Section IV-B's per-app online training and the
+// Section IV-C cloud-timing measurements.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/next_agent.hpp"
+#include "rl/qtable.hpp"
+#include "sim/engine.hpp"
+#include "workload/apps.hpp"
+#include "workload/session.hpp"
+
+namespace nextgov::sim {
+
+/// Which governor stack to run (see governors/ and core/).
+enum class GovernorKind {
+  kSchedutil,    ///< stock baseline: schedutil, no meta governor
+  kPerformance,  ///< all clusters pinned at fmax (PPDW_worst operating point)
+  kPowersave,    ///< all clusters pinned at fmin
+  kOndemand,     ///< classic ondemand baseline
+  kIntQos,       ///< schedutil + Int. QoS PM caps (games)
+  kNext,         ///< schedutil + Next agent
+};
+
+[[nodiscard]] std::string_view to_string(GovernorKind kind) noexcept;
+
+struct ExperimentConfig {
+  GovernorKind governor{GovernorKind::kSchedutil};
+  SimTime duration{SimTime::from_seconds(150.0)};
+  std::uint64_t seed{1};
+  Celsius ambient{Celsius{21.0}};
+  SimTime record_period{SimTime::from_seconds(1.0)};
+  core::NextConfig next_config{};
+  /// For kNext: a trained table to deploy (greedy). Null = untrained.
+  const rl::QTable* trained_table{nullptr};
+  /// For kNext with trained_table == nullptr: train online during the run.
+  core::AgentMode next_mode{core::AgentMode::kDeployed};
+};
+
+/// End-of-session summary; series holds the recorder samples.
+struct SessionResult {
+  std::string app;
+  std::string governor;
+  double duration_s{0.0};
+  double avg_power_w{0.0};
+  double peak_power_w{0.0};
+  double avg_temp_big_c{0.0};
+  double peak_temp_big_c{0.0};
+  double avg_temp_device_c{0.0};
+  double peak_temp_device_c{0.0};
+  double avg_fps{0.0};
+  double energy_j{0.0};
+  std::int64_t frames_presented{0};
+  std::int64_t frames_dropped{0};
+  double avg_ppdw{0.0};
+  std::vector<Sample> series;
+};
+
+using AppFactory = std::function<std::unique_ptr<workload::App>(std::uint64_t seed)>;
+
+/// Builds a ready-to-run engine for the given stack (public so examples can
+/// drive the loop themselves).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(AppFactory app_factory,
+                                                  const ExperimentConfig& config);
+
+/// Runs a full session of `app` under `config` and summarizes it.
+[[nodiscard]] SessionResult run_app_session(workload::AppId app, const ExperimentConfig& config);
+
+/// Same for an arbitrary app factory (e.g. the Fig. 1 multi-app session).
+[[nodiscard]] SessionResult run_session(AppFactory app_factory, std::string app_name,
+                                        const ExperimentConfig& config);
+
+/// Summarizes an engine after it ran.
+[[nodiscard]] SessionResult summarize(const Engine& engine, std::string app_name,
+                                      std::string governor_name);
+
+// --- training (Section IV-B/C) -------------------------------------------
+
+struct TrainingOptions {
+  SimTime max_duration{SimTime::from_seconds(1200.0)};
+  SimTime episode_length{SimTime::from_seconds(60.0)};  ///< app restart cadence
+  std::uint64_t seed{99};
+  Celsius ambient{Celsius{21.0}};
+  /// true: end training the moment the convergence detector fires (the
+  /// paper's measured "training time", Fig. 6). false: keep refining until
+  /// max_duration (the "fully trained" tables used in the evaluation).
+  bool stop_at_convergence{false};
+};
+
+struct TrainingResult {
+  rl::QTable table;
+  bool converged{false};
+  double sim_seconds{0.0};   ///< simulated (= on-device) training time
+  double wall_seconds{0.0};  ///< host wall-clock (= cloud compute) time
+  std::uint64_t decisions{0};
+  double final_mean_reward{0.0};
+  std::size_t states_visited{0};
+};
+
+/// Trains Next online on one app until convergence (or max_duration),
+/// restarting the app every episode like a user re-opening it.
+[[nodiscard]] TrainingResult train_next(workload::AppId app, const core::NextConfig& config,
+                                        const TrainingOptions& options);
+
+/// Same for an arbitrary app factory.
+[[nodiscard]] TrainingResult train_next_on(AppFactory app_factory,
+                                           const core::NextConfig& config,
+                                           const TrainingOptions& options);
+
+}  // namespace nextgov::sim

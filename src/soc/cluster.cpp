@@ -1,0 +1,60 @@
+#include "soc/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nextgov::soc {
+
+std::string_view to_string(ClusterKind kind) noexcept {
+  switch (kind) {
+    case ClusterKind::kBigCpu: return "big";
+    case ClusterKind::kLittleCpu: return "LITTLE";
+    case ClusterKind::kGpu: return "GPU";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterKind kind, std::string name, std::size_t core_count, OppTable opps,
+                 ClusterPowerParams power_params)
+    : kind_{kind},
+      name_{std::move(name)},
+      cores_{core_count},
+      opps_{std::move(opps)},
+      power_{power_params},
+      max_cap_{opps_.size() - 1} {
+  require(cores_ > 0, "cluster must have at least one core");
+  require(power_.c_eff_total_farads > 0.0, "effective capacitance must be positive");
+  require(power_.leak_coeff_w_per_v >= 0.0, "leakage coefficient must be non-negative");
+}
+
+void Cluster::set_freq_index(std::size_t i) noexcept {
+  index_ = std::clamp(i, min_cap_, max_cap_);
+}
+
+void Cluster::request_frequency(KiloHertz f) noexcept { set_freq_index(opps_.ceil_index(f)); }
+
+void Cluster::set_max_cap_index(std::size_t i) noexcept {
+  max_cap_ = std::min(i, opps_.size() - 1);
+  max_cap_ = std::max(max_cap_, min_cap_);
+  if (index_ > max_cap_) index_ = max_cap_;
+}
+
+bool Cluster::cap_step_up() noexcept {
+  if (max_cap_ + 1 >= opps_.size()) return false;
+  set_max_cap_index(max_cap_ + 1);
+  return true;
+}
+
+bool Cluster::cap_step_down() noexcept {
+  if (max_cap_ == min_cap_) return false;
+  set_max_cap_index(max_cap_ - 1);
+  return true;
+}
+
+void Cluster::reset_caps() noexcept {
+  min_cap_ = 0;
+  max_cap_ = opps_.size() - 1;
+}
+
+}  // namespace nextgov::soc

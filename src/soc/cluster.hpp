@@ -1,0 +1,87 @@
+// cluster.hpp - a DVFS-capable processing-element cluster.
+//
+// The Exynos 9810 exposes cluster-wise DVFS only (Section III-A): one
+// frequency for all 4 big cores, one for all 4 LITTLE cores, one for the 18
+// GPU cores. A Cluster owns its OPP table, the current operating index, and
+// the min/max frequency *caps* that governors (and the Next agent, which
+// actuates exclusively via maxfreq) manipulate. Invariant: the operating
+// index always lies within [min_cap_index, max_cap_index].
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+#include "soc/opp.hpp"
+
+namespace nextgov::soc {
+
+/// Which kind of processing elements the cluster holds.
+enum class ClusterKind { kBigCpu, kLittleCpu, kGpu };
+
+[[nodiscard]] std::string_view to_string(ClusterKind kind) noexcept;
+
+/// Electrical/physical constants of one cluster (see DESIGN.md "power in
+/// watts"): dynamic power = c_eff_total * V^2 * f * util, leakage =
+/// leak_coeff * V * exp(leak_temp_beta * (T - 25C)).
+struct ClusterPowerParams {
+  double c_eff_total_farads{1e-9};  ///< switched capacitance of the whole cluster at util=1
+  double leak_coeff_w_per_v{0.1};   ///< leakage scale (whole cluster) at 25 degrees C
+  double leak_temp_beta{0.0155};    ///< exponential leakage-temperature coefficient [1/K]
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterKind kind, std::string name, std::size_t core_count, OppTable opps,
+          ClusterPowerParams power_params);
+
+  [[nodiscard]] ClusterKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t core_count() const noexcept { return cores_; }
+  [[nodiscard]] const OppTable& opps() const noexcept { return opps_; }
+  [[nodiscard]] const ClusterPowerParams& power_params() const noexcept { return power_; }
+
+  /// --- operating point -----------------------------------------------
+  [[nodiscard]] std::size_t freq_index() const noexcept { return index_; }
+  [[nodiscard]] KiloHertz frequency() const noexcept { return opps_[index_].frequency; }
+  [[nodiscard]] Volts voltage() const noexcept { return opps_[index_].voltage; }
+  /// Requests operating index `i`; the result is clamped into the cap range.
+  void set_freq_index(std::size_t i) noexcept;
+  /// Requests the lowest OPP >= `f` (governor semantics), clamped to caps.
+  void request_frequency(KiloHertz f) noexcept;
+
+  /// --- caps (what meta-governors actuate) -----------------------------
+  [[nodiscard]] std::size_t max_cap_index() const noexcept { return max_cap_; }
+  [[nodiscard]] std::size_t min_cap_index() const noexcept { return min_cap_; }
+  [[nodiscard]] KiloHertz max_cap_frequency() const noexcept {
+    return opps_[max_cap_].frequency;
+  }
+  /// Sets the maxfreq cap; pulls the operating point down when it now
+  /// exceeds the cap (exactly what writing scaling_max_freq does on Linux).
+  void set_max_cap_index(std::size_t i) noexcept;
+  /// Moves the cap one OPP up/down (the Next agent's action semantics);
+  /// saturates at the table ends. Returns true when the cap moved.
+  bool cap_step_up() noexcept;
+  bool cap_step_down() noexcept;
+  /// Restores caps to the full OPP range.
+  void reset_caps() noexcept;
+
+  /// Relative single-PE speed vs the highest OPP (for capacity-invariant
+  /// utilization calculations).
+  [[nodiscard]] double relative_speed() const noexcept {
+    return frequency() / opps_.highest().frequency;
+  }
+
+ private:
+  ClusterKind kind_;
+  std::string name_;
+  std::size_t cores_;
+  OppTable opps_;
+  ClusterPowerParams power_;
+  std::size_t index_{0};
+  std::size_t min_cap_{0};
+  std::size_t max_cap_;
+};
+
+}  // namespace nextgov::soc

@@ -1,0 +1,25 @@
+#include "soc/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nextgov::soc {
+
+Watts dynamic_power(const Cluster& cluster, double busy_avg) noexcept {
+  const double util = std::clamp(busy_avg, 0.0, 1.0);
+  const double v = cluster.voltage().value();
+  const double f_hz = cluster.frequency().hz();
+  return Watts{cluster.power_params().c_eff_total_farads * v * v * f_hz * util};
+}
+
+Watts leakage_power(const Cluster& cluster, Celsius temp) noexcept {
+  const auto& p = cluster.power_params();
+  const double v = cluster.voltage().value();
+  return Watts{p.leak_coeff_w_per_v * v * std::exp(p.leak_temp_beta * (temp.value() - 25.0))};
+}
+
+Watts cluster_power(const Cluster& cluster, const ClusterLoad& load, Celsius temp) noexcept {
+  return dynamic_power(cluster, load.busy_avg) + leakage_power(cluster, temp);
+}
+
+}  // namespace nextgov::soc

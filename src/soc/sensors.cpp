@@ -1,0 +1,20 @@
+#include "soc/sensors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nextgov::soc {
+
+Celsius quantize_temperature(Celsius t) noexcept {
+  return Celsius{std::round(t.value() * 10.0) / 10.0};
+}
+
+Watts quantize_power(Watts p) noexcept { return Watts{std::round(p.value() * 1000.0) / 1000.0}; }
+
+Celsius virtual_device_temperature(Celsius battery, Celsius skin, Celsius big, Celsius little,
+                                   Celsius gpu) noexcept {
+  const double soc_max = std::max({big.value(), little.value(), gpu.value()});
+  return Celsius{0.40 * battery.value() + 0.35 * skin.value() + 0.25 * soc_max};
+}
+
+}  // namespace nextgov::soc

@@ -1,0 +1,41 @@
+// sensors.hpp - thermal/power sensor front-end.
+//
+// The governor stack must observe the system the way the paper's
+// application-layer agent does: through quantized, slightly delayed sensor
+// readings, not the simulator's exact floating-point state. Section III-A:
+// the Note 9 exposes 5 thermal sensors of which one sits on the big cluster
+// and one *virtual* sensor reports "overall device temperature" via a
+// proprietary formula. We document our replacement formula here (DESIGN.md):
+//
+//   T_device = 0.40*T_battery + 0.35*T_skin + 0.25*max(T_big,T_little,T_gpu)
+//
+// Readings are quantized to 0.1 C (typical tsens granularity) and power to
+// 1 mW (fuel-gauge granularity).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace nextgov::soc {
+
+/// Quantizes a temperature to the sensor granularity (0.1 degrees C).
+[[nodiscard]] Celsius quantize_temperature(Celsius t) noexcept;
+
+/// Quantizes a power reading to 1 mW.
+[[nodiscard]] Watts quantize_power(Watts p) noexcept;
+
+/// The device-level virtual sensor replacement formula.
+[[nodiscard]] Celsius virtual_device_temperature(Celsius battery, Celsius skin, Celsius big,
+                                                 Celsius little, Celsius gpu) noexcept;
+
+/// Snapshot of every sensor the agent can read.
+struct SensorReadings {
+  Celsius big;     ///< big-cluster on-die sensor
+  Celsius little;  ///< LITTLE-cluster on-die sensor
+  Celsius gpu;     ///< GPU on-die sensor
+  Celsius battery; ///< battery pack sensor
+  Celsius skin;    ///< chassis/skin sensor
+  Celsius device;  ///< virtual "overall device" sensor
+  Watts power;     ///< instantaneous device power (fuel gauge)
+};
+
+}  // namespace nextgov::soc

@@ -1,0 +1,30 @@
+#include "thermal/note9_model.hpp"
+
+namespace nextgov::thermal {
+
+Note9Thermal make_note9_thermal(Celsius ambient) {
+  RcNetwork net{ambient};
+  Note9Nodes n{};
+  // Capacities [J/K]: junction nodes are small (fast, seconds-scale), the
+  // chassis and battery hold most of the 201 g device's heat mass and warm
+  // over minutes - which is why the paper's 5-minute game sessions reach
+  // much higher peaks than the 1.5-3 minute app sessions.
+  n.big = net.add_node("big", 1.0);
+  n.little = net.add_node("little", 0.8);
+  n.gpu = net.add_node("gpu", 1.4);
+  n.soc_board = net.add_node("soc_board", 14.0);
+  n.battery = net.add_node("battery", 60.0, /*g_ambient=*/0.12);
+  n.skin = net.add_node("skin", 90.0, /*g_ambient=*/0.42);
+  // Conductances [W/K]: junction-to-board paths are the dominant thermal
+  // resistances (they set the hotspot delta the big cluster shows under
+  // load); board-to-skin and skin-to-ambient set the session-scale warmup.
+  net.connect(n.big, n.soc_board, 0.11);
+  net.connect(n.little, n.soc_board, 0.30);
+  net.connect(n.gpu, n.soc_board, 0.14);
+  net.connect(n.soc_board, n.skin, 0.22);
+  net.connect(n.soc_board, n.battery, 0.20);
+  net.connect(n.battery, n.skin, 0.35);
+  return Note9Thermal{std::move(net), n};
+}
+
+}  // namespace nextgov::thermal

@@ -1,0 +1,145 @@
+#include "thermal/rc_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nextgov::thermal {
+
+RcNetwork::RcNetwork(Celsius ambient) : ambient_{ambient} {}
+
+NodeId RcNetwork::add_node(std::string name, double capacity_j_per_k,
+                           double g_ambient_w_per_k) {
+  require(capacity_j_per_k > 0.0, "thermal capacity must be positive");
+  require(g_ambient_w_per_k >= 0.0, "ambient conductance must be non-negative");
+  nodes_.push_back(Node{std::move(name), capacity_j_per_k, g_ambient_w_per_k, ambient_.value(),
+                        0.0});
+  flux_.resize(nodes_.size());
+  return nodes_.size() - 1;
+}
+
+void RcNetwork::connect(NodeId a, NodeId b, double g_w_per_k) {
+  require(a < nodes_.size() && b < nodes_.size(), "connect: unknown node id");
+  require(a != b, "connect: cannot connect a node to itself");
+  require(g_w_per_k > 0.0, "thermal conductance must be positive");
+  edges_.push_back(Edge{a, b, g_w_per_k});
+}
+
+const std::string& RcNetwork::node_name(NodeId id) const {
+  require(id < nodes_.size(), "unknown node id");
+  return nodes_[id].name;
+}
+
+Celsius RcNetwork::temperature(NodeId id) const {
+  require(id < nodes_.size(), "unknown node id");
+  return Celsius{nodes_[id].temp_c};
+}
+
+void RcNetwork::set_power(NodeId id, Watts p) {
+  require(id < nodes_.size(), "unknown node id");
+  nodes_[id].power_w = p.value();
+}
+
+Watts RcNetwork::power(NodeId id) const {
+  require(id < nodes_.size(), "unknown node id");
+  return Watts{nodes_[id].power_w};
+}
+
+double RcNetwork::max_stable_dt_seconds() const noexcept {
+  // Explicit Euler is stable when dt < C_i / (sum of conductances at i) for
+  // every node; use half of the bound as safety margin.
+  double worst = 1e9;
+  std::vector<double> g_total(nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) g_total[i] = nodes_[i].g_ambient;
+  for (const auto& e : edges_) {
+    g_total[e.a] += e.g;
+    g_total[e.b] += e.g;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (g_total[i] > 0.0) worst = std::min(worst, nodes_[i].capacity / g_total[i]);
+  }
+  return 0.5 * worst;
+}
+
+void RcNetwork::euler_substep(double dt_s) noexcept {
+  std::fill(flux_.begin(), flux_.end(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    flux_[i] = nodes_[i].power_w + nodes_[i].g_ambient * (ambient_.value() - nodes_[i].temp_c);
+  }
+  for (const auto& e : edges_) {
+    const double q = e.g * (nodes_[e.b].temp_c - nodes_[e.a].temp_c);
+    flux_[e.a] += q;
+    flux_[e.b] -= q;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].temp_c += dt_s * flux_[i] / nodes_[i].capacity;
+  }
+}
+
+void RcNetwork::step(SimTime dt) {
+  NEXTGOV_ASSERT(dt.us() >= 0);
+  if (nodes_.empty() || dt.us() == 0) return;
+  const double total_s = dt.seconds();
+  const double dt_max = max_stable_dt_seconds();
+  const auto substeps = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(total_s / dt_max)));
+  const double dt_sub = total_s / static_cast<double>(substeps);
+  for (std::size_t k = 0; k < substeps; ++k) euler_substep(dt_sub);
+}
+
+void RcNetwork::set_all_temperatures(Celsius t) noexcept {
+  for (auto& n : nodes_) n.temp_c = t.value();
+}
+
+std::vector<Celsius> RcNetwork::steady_state() const {
+  // Solve A * T = b where A has the conductance Laplacian plus the ambient
+  // diagonal, and b = P + G_amb * T_amb.
+  const std::size_t n = nodes_.size();
+  require(n > 0, "steady_state of empty network");
+  std::vector<double> a(n * n, 0.0);
+  std::vector<double> b(n, 0.0);
+  double total_g_ambient = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i * n + i] = nodes_[i].g_ambient;
+    b[i] = nodes_[i].power_w + nodes_[i].g_ambient * ambient_.value();
+    total_g_ambient += nodes_[i].g_ambient;
+  }
+  require(total_g_ambient > 0.0, "network has no path to ambient; no steady state exists");
+  for (const auto& e : edges_) {
+    a[e.a * n + e.a] += e.g;
+    a[e.b * n + e.b] += e.g;
+    a[e.a * n + e.b] -= e.g;
+    a[e.b * n + e.a] -= e.g;
+  }
+  // Gaussian elimination with partial pivoting; n <= ~10 in practice.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    }
+    require(std::fabs(a[pivot * n + col]) > 1e-12,
+            "singular thermal system (disconnected node without ambient path)");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> t(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a[ri * n + c] * t[c];
+    t[ri] = sum / a[ri * n + ri];
+  }
+  std::vector<Celsius> out;
+  out.reserve(n);
+  for (double v : t) out.emplace_back(v);
+  return out;
+}
+
+}  // namespace nextgov::thermal

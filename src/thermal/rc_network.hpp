@@ -1,0 +1,85 @@
+// rc_network.hpp - lumped-parameter RC thermal network.
+//
+// Standard compact thermal model for SoCs (HotSpot-style): each node has a
+// heat capacity C [J/K]; edges have thermal conductance G [W/K]; every node
+// may also leak to the ambient boundary. Heat equation per node i:
+//
+//   C_i dT_i/dt = P_i + sum_j G_ij (T_j - T_i) + G_i,amb (T_amb - T_i)
+//
+// Integrated with forward Euler and automatic sub-stepping so the scheme
+// stays stable (dt_sub < min_i C_i / sum G_i) for any caller-provided step.
+// steady_state() solves the linear system directly (Gaussian elimination,
+// networks are tiny) and is used for calibration and property tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+
+namespace nextgov::thermal {
+
+using NodeId = std::size_t;
+
+/// Mutable RC network. Build once (add_node/connect), then step().
+class RcNetwork {
+ public:
+  explicit RcNetwork(Celsius ambient);
+
+  /// Adds a node with heat capacity `capacity_j_per_k`, conductance
+  /// `g_ambient_w_per_k` to ambient (0 for internal nodes), initialized at
+  /// the ambient temperature. Returns its id.
+  NodeId add_node(std::string name, double capacity_j_per_k, double g_ambient_w_per_k = 0.0);
+
+  /// Connects two nodes with conductance `g_w_per_k` (> 0).
+  void connect(NodeId a, NodeId b, double g_w_per_k);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] Celsius temperature(NodeId id) const;
+  [[nodiscard]] Celsius ambient() const noexcept { return ambient_; }
+  void set_ambient(Celsius t) noexcept { ambient_ = t; }
+
+  /// Sets the heat injected into `id` for the next step(s) [W].
+  void set_power(NodeId id, Watts p);
+  [[nodiscard]] Watts power(NodeId id) const;
+
+  /// Advances the network by `dt`, sub-stepping as needed for stability.
+  void step(SimTime dt);
+
+  /// Forces all node temperatures to `t` (session reset).
+  void set_all_temperatures(Celsius t) noexcept;
+
+  /// Solves for the equilibrium temperatures under the current power inputs
+  /// (does not modify the transient state). Throws ConfigError when the
+  /// network has no path to ambient (no equilibrium exists).
+  [[nodiscard]] std::vector<Celsius> steady_state() const;
+
+  /// Largest stable explicit-Euler step for the current topology [s].
+  [[nodiscard]] double max_stable_dt_seconds() const noexcept;
+
+ private:
+  struct Node {
+    std::string name;
+    double capacity;   // J/K
+    double g_ambient;  // W/K
+    double temp_c;     // current temperature, degrees C
+    double power_w;    // injected heat, W
+  };
+  struct Edge {
+    NodeId a;
+    NodeId b;
+    double g;  // W/K
+  };
+
+  void euler_substep(double dt_s) noexcept;
+
+  Celsius ambient_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  mutable std::vector<double> flux_;  // scratch: net heat into each node [W]
+};
+
+}  // namespace nextgov::thermal

@@ -1,0 +1,33 @@
+// app.hpp - the application abstraction the engine executes.
+//
+// An App is a render::FrameSource (it submits frame jobs) plus a background
+// load and an internal behaviour clock (phase machine, user engagement).
+// All randomness comes from the Rng handed in at construction so sessions
+// are reproducible.
+#pragma once
+
+#include <string_view>
+
+#include "common/sim_time.hpp"
+#include "render/frame.hpp"
+#include "workload/background.hpp"
+
+namespace nextgov::workload {
+
+class App : public render::FrameSource {
+ public:
+  /// Advances the app's internal behaviour (phase transitions, engagement,
+  /// frame cadence credit) from `now` over `dt`.
+  virtual void update(SimTime now, SimTime dt) = 0;
+
+  /// Current non-frame load demand.
+  [[nodiscard]] virtual BackgroundLoad background() const = 0;
+
+  /// Stable app name ("facebook", "lineage", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Human-readable current phase (diagnostics / recorder annotation).
+  [[nodiscard]] virtual std::string_view phase_name() const = 0;
+};
+
+}  // namespace nextgov::workload

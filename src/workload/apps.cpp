@@ -1,0 +1,272 @@
+#include "workload/apps.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace nextgov::workload {
+
+namespace {
+
+// Work units are cycles: a 6e6-cycle frame takes 2.2 ms on a big core at
+// 2.7 GHz and 6.0 ms at 1.0 GHz; GPU cycles are per-core at the GPU clock
+// (5e6 cycles -> 8.7 ms at 572 MHz). The sustainable FPS is
+// min(60, 1/max(t_cpu, t_gpu)), so these numbers pick where each app's
+// frequency/QoS trade-off bites.
+
+PhaseSpec none_phase(std::string name, BackgroundLoad bg, double mean_s, double weight,
+                     bool needs_engagement = false) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  p.demand = FrameDemand::kNone;
+  p.cpu = {1e5, 0.0};
+  p.gpu = {1e5, 0.0};
+  p.background = bg;
+  p.mean_duration_s = mean_s;
+  p.weight = weight;
+  p.needs_engagement = needs_engagement;
+  return p;
+}
+
+PhaseSpec continuous_phase(std::string name, WorkDist cpu, WorkDist gpu, BackgroundLoad bg,
+                           double mean_s, double weight, bool needs_engagement) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  p.demand = FrameDemand::kContinuous;
+  p.cpu = cpu;
+  p.gpu = gpu;
+  p.background = bg;
+  p.mean_duration_s = mean_s;
+  p.weight = weight;
+  p.needs_engagement = needs_engagement;
+  return p;
+}
+
+PhaseSpec cadence_phase(std::string name, double fps, WorkDist cpu, WorkDist gpu,
+                        BackgroundLoad bg, double mean_s, double weight,
+                        bool needs_engagement = false) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  p.demand = FrameDemand::kCadence;
+  p.cadence_fps = fps;
+  p.cpu = cpu;
+  p.gpu = gpu;
+  p.background = bg;
+  p.mean_duration_s = mean_s;
+  p.weight = weight;
+  p.needs_engagement = needs_engagement;
+  return p;
+}
+
+}  // namespace
+
+AppSpec home_spec() {
+  AppSpec s;
+  s.name = "home";
+  s.user = {/*engaged_mean_s=*/5.0, 0.6, /*passive_mean_s=*/4.0, 0.6, true};
+  s.phases.push_back(
+      none_phase("idle_static", {.big_avg = 0.03, .big_hot = 0.06, .little_avg = 0.06,
+                                 .little_hot = 0.12, .gpu_avg = 0.0},
+                 3.0, 2.0));
+  s.phases.push_back(continuous_phase("swipe_pages", {3.5e6, 0.30}, {2.0e6, 0.25},
+                                      {.big_avg = 0.10, .big_hot = 0.2, .little_avg = 0.15,
+                                       .little_hot = 0.3, .gpu_avg = 0.02},
+                                      1.5, 2.0, /*needs_engagement=*/true));
+  s.phases.push_back(continuous_phase("open_anim", {6.0e6, 0.25}, {3.0e6, 0.25},
+                                      {.big_avg = 0.30, .big_hot = 0.6, .little_avg = 0.25,
+                                       .little_hot = 0.5, .gpu_avg = 0.05},
+                                      0.9, 1.0, /*needs_engagement=*/true));
+  return s;
+}
+
+AppSpec facebook_spec() {
+  AppSpec s;
+  s.name = "facebook";
+  s.user = {/*engaged_mean_s=*/8.0, 0.6, /*passive_mean_s=*/7.0, 0.7, true};
+  PhaseSpec splash = cadence_phase("splash", 8.0, {4.0e6, 0.2}, {1.5e6, 0.2},
+                                   {.big_avg = 0.85, .big_hot = 0.97, .little_avg = 0.50,
+                                    .little_hot = 0.8, .gpu_avg = 0.05},
+                                   3.0, 0.0);
+  splash.initial_only = true;
+  splash.min_duration_s = 2.0;
+  s.phases.push_back(splash);
+  s.initial_phase = 0;
+  s.phases.push_back(continuous_phase("scroll_feed", {5.5e6, 0.35}, {2.4e6, 0.30},
+                                      {.big_avg = 0.25, .big_hot = 0.5, .little_avg = 0.30,
+                                       .little_hot = 0.55, .gpu_avg = 0.04},
+                                      6.0, 3.0, /*needs_engagement=*/true));
+  // Feed prefetch, tracking and timers keep threads warm while the user
+  // reads - schedutil holds frequency up although FPS is 0 (Fig. 1 middle).
+  s.phases.push_back(none_phase("read_idle",
+                                {.big_avg = 0.12, .big_hot = 0.38, .little_avg = 0.22,
+                                 .little_hot = 0.45, .gpu_avg = 0.01},
+                                7.0, 2.5));
+  s.phases.push_back(cadence_phase("feed_video", 30.0, {4.5e6, 0.25}, {2.6e6, 0.25},
+                                   {.big_avg = 0.20, .big_hot = 0.45, .little_avg = 0.28,
+                                    .little_hot = 0.5, .gpu_avg = 0.20},
+                                   8.0, 1.5));
+  return s;
+}
+
+AppSpec spotify_spec() {
+  AppSpec s;
+  s.name = "spotify";
+  // Users mostly set music going and stop interacting - the paper's Fig. 1
+  // shows long FPS~0 stretches with frequencies still high.
+  s.user = {/*engaged_mean_s=*/4.0, 0.6, /*passive_mean_s=*/18.0, 0.7, true};
+  s.phases.push_back(continuous_phase("browse", {5.0e6, 0.30}, {2.0e6, 0.25},
+                                      {.big_avg = 0.18, .big_hot = 0.40, .little_avg = 0.30,
+                                       .little_hot = 0.55, .gpu_avg = 0.03},
+                                      4.0, 2.0, /*needs_engagement=*/true));
+  // Decode/DSP/network keep CPUs warm while the screen is static: this is
+  // the waste case Next learns to cap.
+  s.phases.push_back(cadence_phase("playback_idle", 1.0, {2.0e6, 0.2}, {1.0e6, 0.2},
+                                   {.big_avg = 0.24, .big_hot = 0.78, .little_avg = 0.48,
+                                    .little_hot = 0.85, .gpu_avg = 0.01},
+                                   15.0, 4.0));
+  s.phases.push_back(cadence_phase("lyrics_anim", 12.0, {3.0e6, 0.2}, {1.6e6, 0.2},
+                                   {.big_avg = 0.18, .big_hot = 0.45, .little_avg = 0.35,
+                                    .little_hot = 0.6, .gpu_avg = 0.02},
+                                   5.0, 1.0));
+  return s;
+}
+
+AppSpec web_browser_spec() {
+  AppSpec s;
+  s.name = "web_browser";
+  s.user = {/*engaged_mean_s=*/9.0, 0.6, /*passive_mean_s=*/7.0, 0.7, true};
+  s.phases.push_back(continuous_phase("page_load", {9.0e6, 0.30}, {2.6e6, 0.25},
+                                      {.big_avg = 0.90, .big_hot = 1.0, .little_avg = 0.50,
+                                       .little_hot = 0.8, .gpu_avg = 0.05},
+                                      2.5, 2.0, /*needs_engagement=*/true));
+  s.phases.push_back(continuous_phase("scroll_read", {5.0e6, 0.30}, {2.2e6, 0.25},
+                                      {.big_avg = 0.20, .big_hot = 0.45, .little_avg = 0.25,
+                                       .little_hot = 0.45, .gpu_avg = 0.03},
+                                      4.0, 3.0, /*needs_engagement=*/true));
+  // JS timers / analytics keep cores awake on "idle" pages.
+  s.phases.push_back(none_phase("read_idle",
+                                {.big_avg = 0.12, .big_hot = 0.40, .little_avg = 0.20,
+                                 .little_hot = 0.45, .gpu_avg = 0.01},
+                                8.0, 2.0));
+  return s;
+}
+
+AppSpec youtube_spec() {
+  AppSpec s;
+  s.name = "youtube";
+  s.user = {/*engaged_mean_s=*/3.0, 0.6, /*passive_mean_s=*/20.0, 0.7, true};
+  // 30 FPS video cadence: demux + compositing on CPU, scaling on GPU; the
+  // composition load keeps the Mali step governor several OPPs up although
+  // the video needs none of it - waste Next reclaims.
+  s.phases.push_back(cadence_phase("video_playback", 30.0, {4.5e6, 0.20}, {3.2e6, 0.20},
+                                   {.big_avg = 0.20, .big_hot = 0.55, .little_avg = 0.38,
+                                    .little_hot = 0.65, .gpu_avg = 0.35},
+                                   20.0, 4.0));
+  s.phases.push_back(continuous_phase("seek_browse", {6.0e6, 0.30}, {2.6e6, 0.25},
+                                      {.big_avg = 0.30, .big_hot = 0.6, .little_avg = 0.35,
+                                       .little_hot = 0.6, .gpu_avg = 0.04},
+                                      3.0, 1.5, /*needs_engagement=*/true));
+  s.phases.push_back(none_phase("pause_idle",
+                                {.big_avg = 0.05, .big_hot = 0.14, .little_avg = 0.12,
+                                 .little_hot = 0.25, .gpu_avg = 0.01},
+                                4.0, 0.5));
+  return s;
+}
+
+AppSpec lineage_spec() {
+  AppSpec s;
+  s.name = "lineage";
+  // "a very computationally intensive game" (Section III-B, Fig. 4).
+  s.user = {/*engaged_mean_s=*/30.0, 0.5, /*passive_mean_s=*/2.0, 0.5, true};
+  PhaseSpec loading = cadence_phase("loading", 10.0, {3.0e6, 0.2}, {1.5e6, 0.2},
+                                    {.big_avg = 0.95, .big_hot = 1.0, .little_avg = 0.60,
+                                     .little_hot = 0.9, .gpu_avg = 0.05},
+                                    12.0, 0.0);
+  loading.initial_only = true;
+  loading.min_duration_s = 8.0;
+  s.phases.push_back(loading);
+  s.initial_phase = 0;
+  s.phases.push_back(continuous_phase("combat", {11.0e6, 0.30}, {6.5e6, 0.30},
+                                      {.big_avg = 0.35, .big_hot = 0.7, .little_avg = 0.30,
+                                       .little_hot = 0.55, .gpu_avg = 0.05},
+                                      12.0, 3.0, /*needs_engagement=*/false));
+  s.phases.push_back(continuous_phase("town", {8.0e6, 0.28}, {5.0e6, 0.28},
+                                      {.big_avg = 0.30, .big_hot = 0.6, .little_avg = 0.28,
+                                       .little_hot = 0.5, .gpu_avg = 0.04},
+                                      8.0, 2.0, /*needs_engagement=*/false));
+  s.phases.push_back(cadence_phase("menu", 30.0, {4.0e6, 0.2}, {2.0e6, 0.2},
+                                   {.big_avg = 0.15, .big_hot = 0.35, .little_avg = 0.20,
+                                    .little_hot = 0.4, .gpu_avg = 0.02},
+                                   3.0, 0.7));
+  return s;
+}
+
+AppSpec pubg_spec() {
+  AppSpec s;
+  s.name = "pubg";
+  s.user = {/*engaged_mean_s=*/40.0, 0.5, /*passive_mean_s=*/2.0, 0.5, true};
+  PhaseSpec loading = cadence_phase("loading", 10.0, {3.0e6, 0.2}, {1.5e6, 0.2},
+                                    {.big_avg = 0.95, .big_hot = 1.0, .little_avg = 0.60,
+                                     .little_hot = 0.9, .gpu_avg = 0.05},
+                                    15.0, 0.0);
+  loading.initial_only = true;
+  loading.min_duration_s = 10.0;
+  s.phases.push_back(loading);
+  s.initial_phase = 0;
+  s.phases.push_back(continuous_phase("match", {10.0e6, 0.30}, {7.5e6, 0.30},
+                                      {.big_avg = 0.40, .big_hot = 0.75, .little_avg = 0.35,
+                                       .little_hot = 0.6, .gpu_avg = 0.05},
+                                      25.0, 3.0, /*needs_engagement=*/false));
+  s.phases.push_back(continuous_phase("lobby", {6.0e6, 0.25}, {4.0e6, 0.25},
+                                      {.big_avg = 0.25, .big_hot = 0.5, .little_avg = 0.25,
+                                       .little_hot = 0.45, .gpu_avg = 0.03},
+                                      6.0, 1.0, /*needs_engagement=*/false));
+  return s;
+}
+
+std::span<const AppId> all_apps() noexcept {
+  static constexpr std::array<AppId, 6> kApps = {AppId::kFacebook, AppId::kLineage,
+                                                 AppId::kPubg,     AppId::kSpotify,
+                                                 AppId::kWebBrowser, AppId::kYoutube};
+  return kApps;
+}
+
+bool is_game(AppId id) noexcept { return id == AppId::kLineage || id == AppId::kPubg; }
+
+std::string_view to_string(AppId id) noexcept {
+  switch (id) {
+    case AppId::kHome: return "home";
+    case AppId::kFacebook: return "facebook";
+    case AppId::kSpotify: return "spotify";
+    case AppId::kWebBrowser: return "web_browser";
+    case AppId::kYoutube: return "youtube";
+    case AppId::kLineage: return "lineage";
+    case AppId::kPubg: return "pubg";
+  }
+  return "?";
+}
+
+AppSpec spec_for(AppId id) {
+  switch (id) {
+    case AppId::kHome: return home_spec();
+    case AppId::kFacebook: return facebook_spec();
+    case AppId::kSpotify: return spotify_spec();
+    case AppId::kWebBrowser: return web_browser_spec();
+    case AppId::kYoutube: return youtube_spec();
+    case AppId::kLineage: return lineage_spec();
+    case AppId::kPubg: return pubg_spec();
+  }
+  throw ConfigError("unknown AppId");
+}
+
+std::unique_ptr<PhasedApp> make_app(AppId id, std::uint64_t seed) {
+  return std::make_unique<PhasedApp>(spec_for(id), Rng{seed});
+}
+
+SimTime paper_session_length(AppId id) noexcept {
+  // Section V: gaming sessions 5 min; other apps 1 min 30 s - 3 min.
+  if (is_game(id)) return SimTime::from_seconds(300.0);
+  return SimTime::from_seconds(150.0);
+}
+
+}  // namespace nextgov::workload

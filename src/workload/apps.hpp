@@ -1,0 +1,61 @@
+// apps.hpp - the evaluation workloads.
+//
+// Factories for the seven workloads of the paper's evaluation (Section V):
+// the home screen (Fig. 1 session) plus Facebook, Spotify, Chrome ("Web
+// Browser"), YouTube and the two games Lineage 2 Revolution and PubG Mobile.
+// Parameters are calibrated (see DESIGN.md and tests/workload) so that under
+// stock schedutil each app reproduces the paper's qualitative signature:
+//   - Facebook/Chrome: alternating 40-60 FPS interaction bursts and ~0 FPS
+//     reading intervals (Fig. 1 left/middle);
+//   - Spotify: FPS ~0 with high background load, so schedutil still runs
+//     high frequencies (Fig. 1 right - the waste Next eliminates);
+//   - YouTube: steady 30 FPS video cadence;
+//   - games: continuous VSync-bound rendering with heavy CPU+GPU cost and
+//     a loading phase whose FPS collapses while CPU load is maximal
+//     (the splash-screen scenario discussed in Section II).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "workload/phased_app.hpp"
+
+namespace nextgov::workload {
+
+enum class AppId {
+  kHome,
+  kFacebook,
+  kSpotify,
+  kWebBrowser,
+  kYoutube,
+  kLineage,
+  kPubg,
+};
+
+/// All evaluated apps, in the order the paper's Fig. 7/8 list them.
+[[nodiscard]] std::span<const AppId> all_apps() noexcept;
+/// The non-game subset (Int. QoS PM only supports games).
+[[nodiscard]] bool is_game(AppId id) noexcept;
+[[nodiscard]] std::string_view to_string(AppId id) noexcept;
+
+/// Behaviour specifications (exposed for tests and ablations).
+[[nodiscard]] AppSpec home_spec();
+[[nodiscard]] AppSpec facebook_spec();
+[[nodiscard]] AppSpec spotify_spec();
+[[nodiscard]] AppSpec web_browser_spec();
+[[nodiscard]] AppSpec youtube_spec();
+[[nodiscard]] AppSpec lineage_spec();
+[[nodiscard]] AppSpec pubg_spec();
+
+[[nodiscard]] AppSpec spec_for(AppId id);
+
+/// Instantiates an app with its own deterministic random stream.
+[[nodiscard]] std::unique_ptr<PhasedApp> make_app(AppId id, std::uint64_t seed);
+
+/// Paper session length for the app (Section V: games 5 min, other apps
+/// 1 min 30 s - 3 min; we use the midpoints).
+[[nodiscard]] SimTime paper_session_length(AppId id) noexcept;
+
+}  // namespace nextgov::workload

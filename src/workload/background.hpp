@@ -1,0 +1,25 @@
+// background.hpp - non-frame-bound computational load of an app.
+//
+// Mobile apps are "dynamic applications consisting of periodic, aperiodic
+// and sporadic tasks" (paper Section I): network stacks, audio decode,
+// prefetchers and GC run regardless of whether frames are produced. This is
+// what makes stock schedutil raise frequencies even when FPS is ~0 (the
+// Spotify phenomenon in the paper's Fig. 1) - utilization governors cannot
+// distinguish frame-critical work from background work; Next can.
+//
+// Loads are expressed as utilization demand *at the highest OPP*: the cycles
+// consumed are u * f_max * dt, so at lower frequencies the same work yields
+// proportionally higher busy fractions (how PELT utilization behaves).
+#pragma once
+
+namespace nextgov::workload {
+
+struct BackgroundLoad {
+  double big_avg{0.0};     ///< mean demand across the whole big cluster [0,1]
+  double big_hot{0.0};     ///< demand of the busiest big core [0,1]
+  double little_avg{0.0};  ///< mean demand across the LITTLE cluster [0,1]
+  double little_hot{0.0};  ///< demand of the busiest LITTLE core [0,1]
+  double gpu_avg{0.0};     ///< non-frame GPU demand (composition etc.) [0,1]
+};
+
+}  // namespace nextgov::workload

@@ -1,0 +1,39 @@
+#include "workload/fps_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace nextgov::workload {
+
+void FpsTrace::save_csv(const std::string& path) const {
+  CsvWriter csv{path, {"time_s", "fps"}};
+  for (const auto& s : samples_) csv.row({s.time.seconds(), s.fps});
+}
+
+FpsTrace FpsTrace::load_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw IoError("cannot open FPS trace: " + path);
+  FpsTrace trace;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream row{line};
+    std::string t_str;
+    std::string fps_str;
+    if (!std::getline(row, t_str, ',') || !std::getline(row, fps_str, ',')) {
+      throw IoError("malformed FPS trace row: " + line);
+    }
+    trace.add(SimTime::from_seconds(std::stod(t_str)), std::stod(fps_str));
+  }
+  return trace;
+}
+
+}  // namespace nextgov::workload

@@ -1,0 +1,40 @@
+// fps_trace.hpp - recorded frame-rate sample traces.
+//
+// The frame-window ablation and the offline/cloud trainer both consume the
+// *same interaction stream* a live session produced. An FpsTrace is the
+// sequence of 25 ms frame-rate samples (exactly what the Next agent's frame
+// window sees); it can be saved/loaded as CSV so experiments are replayable
+// without re-simulating.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace nextgov::workload {
+
+struct FpsSample {
+  SimTime time;
+  double fps;
+};
+
+class FpsTrace {
+ public:
+  FpsTrace() = default;
+
+  void add(SimTime t, double fps) { samples_.push_back({t, fps}); }
+  [[nodiscard]] const std::vector<FpsSample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Writes "time_s,fps" rows. Throws IoError on failure.
+  void save_csv(const std::string& path) const;
+  /// Parses a file produced by save_csv. Throws IoError on failure.
+  [[nodiscard]] static FpsTrace load_csv(const std::string& path);
+
+ private:
+  std::vector<FpsSample> samples_;
+};
+
+}  // namespace nextgov::workload

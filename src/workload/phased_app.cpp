@@ -1,0 +1,116 @@
+#include "workload/phased_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nextgov::workload {
+
+PhasedApp::PhasedApp(AppSpec spec, Rng rng)
+    : spec_{std::move(spec)},
+      rng_{rng},
+      phase_rng_{rng_.fork(0x70686173)},
+      user_{spec_.user, rng_.fork(0x75736572)} {
+  require(!spec_.phases.empty(), "app needs at least one phase");
+  require(spec_.initial_phase < spec_.phases.size(), "initial phase out of range");
+  for (const auto& p : spec_.phases) {
+    require(p.mean_duration_s > 0.0, "phase duration must be positive");
+    require(p.cpu.mean_cycles > 0.0 && p.gpu.mean_cycles > 0.0,
+            "phase work must be positive");
+    if (p.demand == FrameDemand::kCadence) {
+      require(p.cadence_fps > 0.0, "cadence phase needs cadence_fps > 0");
+    }
+  }
+}
+
+double PhasedApp::sample_work(const WorkDist& dist) {
+  if (dist.sigma <= 0.0) return dist.mean_cycles;
+  // mu = ln(mean) - sigma^2/2 keeps the arithmetic mean at mean_cycles.
+  const double mu = std::log(dist.mean_cycles) - dist.sigma * dist.sigma / 2.0;
+  return std::max(1.0, rng_.lognormal(mu, dist.sigma));
+}
+
+void PhasedApp::enter_phase(std::size_t index, SimTime now) {
+  NEXTGOV_ASSERT(index < spec_.phases.size());
+  phase_ = index;
+  const auto& p = spec_.phases[phase_];
+  const double sigma = std::max(0.0, p.duration_sigma);
+  double dwell = p.mean_duration_s;
+  if (sigma > 0.0) {
+    dwell = phase_rng_.lognormal(std::log(p.mean_duration_s) - sigma * sigma / 2.0, sigma);
+  }
+  dwell = std::max(p.min_duration_s, dwell);
+  phase_end_ = now + SimTime::from_seconds(dwell);
+  cadence_credit_ = 0.0;
+}
+
+std::size_t PhasedApp::pick_next_phase() {
+  const bool engaged = user_.engaged();
+  double total = 0.0;
+  for (const auto& p : spec_.phases) {
+    if (p.initial_only) continue;
+    if (p.needs_engagement && !engaged) continue;
+    total += p.weight;
+  }
+  if (total <= 0.0) {
+    // Nothing eligible (e.g. user passive and all phases interactive):
+    // fall back to ignoring the engagement gate.
+    for (std::size_t i = 0; i < spec_.phases.size(); ++i) {
+      if (!spec_.phases[i].initial_only) return i;
+    }
+    return phase_;
+  }
+  double pick = phase_rng_.uniform(0.0, total);
+  for (std::size_t i = 0; i < spec_.phases.size(); ++i) {
+    const auto& p = spec_.phases[i];
+    if (p.initial_only) continue;
+    if (p.needs_engagement && !engaged) continue;
+    pick -= p.weight;
+    if (pick <= 0.0) return i;
+  }
+  return spec_.phases.size() - 1;
+}
+
+void PhasedApp::update(SimTime now, SimTime dt) {
+  user_.update(now);
+  if (!started_) {
+    enter_phase(spec_.initial_phase, now);
+    started_ = true;
+  }
+  while (now >= phase_end_) {
+    enter_phase(pick_next_phase(), phase_end_);
+  }
+  const auto& p = spec_.phases[phase_];
+  if (p.demand == FrameDemand::kCadence) {
+    cadence_credit_ = std::min(2.0, cadence_credit_ + p.cadence_fps * dt.seconds());
+  }
+}
+
+bool PhasedApp::wants_frame(SimTime /*now*/) {
+  if (!started_) return false;
+  const auto& p = spec_.phases[phase_];
+  switch (p.demand) {
+    case FrameDemand::kNone: return false;
+    case FrameDemand::kContinuous: return true;
+    case FrameDemand::kCadence: return cadence_credit_ >= 1.0;
+  }
+  return false;
+}
+
+render::FrameJob PhasedApp::begin_frame(SimTime /*now*/) {
+  const auto& p = spec_.phases[phase_];
+  if (p.demand == FrameDemand::kCadence) cadence_credit_ = std::max(0.0, cadence_credit_ - 1.0);
+  return render::FrameJob{sample_work(p.cpu), sample_work(p.gpu)};
+}
+
+BackgroundLoad PhasedApp::background() const {
+  if (!started_) return BackgroundLoad{};
+  return spec_.phases[phase_].background;
+}
+
+std::string_view PhasedApp::phase_name() const {
+  return started_ ? std::string_view{spec_.phases[phase_].name} : std::string_view{"(init)"};
+}
+
+}  // namespace nextgov::workload

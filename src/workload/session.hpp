@@ -1,0 +1,51 @@
+// session.hpp - multi-app usage sessions.
+//
+// The paper's Figs. 1 and 3 use a single session that walks through the
+// home screen, then Facebook, then Spotify. SessionApp chains apps with
+// fixed segment durations; switching to the next app re-enters that app's
+// initial (splash/loading) phase, modelling the launch cost the paper
+// discusses (FPS collapses while CPU load peaks).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/app.hpp"
+#include "workload/apps.hpp"
+
+namespace nextgov::workload {
+
+struct SessionSegment {
+  AppId app;
+  SimTime duration;
+};
+
+class SessionApp final : public App {
+ public:
+  SessionApp(std::vector<SessionSegment> segments, std::uint64_t seed);
+
+  void update(SimTime now, SimTime dt) override;
+  [[nodiscard]] bool wants_frame(SimTime now) override;
+  [[nodiscard]] render::FrameJob begin_frame(SimTime now) override;
+  [[nodiscard]] BackgroundLoad background() const override;
+  [[nodiscard]] std::string_view name() const override { return "session"; }
+  [[nodiscard]] std::string_view phase_name() const override;
+
+  /// Name of the app active at the current time (for trace annotation).
+  [[nodiscard]] std::string_view current_app_name() const;
+  [[nodiscard]] SimTime total_duration() const noexcept;
+
+ private:
+  void maybe_advance(SimTime now);
+
+  std::vector<SessionSegment> segments_;
+  std::vector<std::unique_ptr<PhasedApp>> apps_;
+  std::size_t current_{0};
+  SimTime segment_end_;
+};
+
+/// The Fig. 1 / Fig. 3 session: home (30 s) -> Facebook (120 s) ->
+/// Spotify (130 s), ~280 s total like the paper's time axis.
+[[nodiscard]] std::unique_ptr<SessionApp> make_fig1_session(std::uint64_t seed);
+
+}  // namespace nextgov::workload

@@ -1,0 +1,38 @@
+#include "workload/user_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nextgov::workload {
+
+UserModel::UserModel(UserModelParams params, Rng rng)
+    : params_{params}, rng_{rng}, engaged_{params.start_engaged} {}
+
+void UserModel::schedule_next(SimTime from) {
+  const double mean = engaged_ ? params_.engaged_mean_s : params_.passive_mean_s;
+  const double sigma = engaged_ ? params_.engaged_sigma : params_.passive_sigma;
+  // Lognormal with the requested arithmetic mean: mu = ln(mean) - sigma^2/2.
+  const double dwell = std::max(0.3, rng_.lognormal(std::log(mean) - sigma * sigma / 2.0, sigma));
+  next_switch_ = from + SimTime::from_seconds(dwell);
+  scheduled_ = true;
+}
+
+void UserModel::update(SimTime now) {
+  if (!scheduled_) schedule_next(now);
+  const double elapsed = (now - last_update_).seconds();
+  if (elapsed > 0.0) {
+    total_time_s_ += elapsed;
+    if (engaged_) engaged_time_s_ += elapsed;
+    last_update_ = now;
+  }
+  while (now >= next_switch_) {
+    engaged_ = !engaged_;
+    schedule_next(next_switch_);
+  }
+}
+
+double UserModel::engaged_fraction() const noexcept {
+  return total_time_s_ > 0.0 ? engaged_time_s_ / total_time_s_ : 0.0;
+}
+
+}  // namespace nextgov::workload

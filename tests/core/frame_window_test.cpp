@@ -1,0 +1,91 @@
+// Unit tests for the frame window (Section IV-A of the paper).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/frame_window.hpp"
+
+namespace nextgov::core {
+namespace {
+
+using namespace nextgov::literals;
+
+TEST(FrameWindow, PaperDefaultsHold160Samples) {
+  // "For 4 seconds of frame window we are able to capture 160 distinct
+  // values of frame rate" at 25 ms sampling.
+  const FrameWindow w;
+  EXPECT_EQ(w.capacity(), 160u);
+  EXPECT_EQ(w.sample_period(), 25_ms);
+}
+
+TEST(FrameWindow, EmptyWindowTargetsZero) {
+  const FrameWindow w;
+  EXPECT_EQ(w.target_fps(), 0);
+}
+
+TEST(FrameWindow, TargetIsModeOfSamples) {
+  FrameWindow w;
+  for (int i = 0; i < 100; ++i) w.add_sample(Fps{60.0});
+  for (int i = 0; i < 60; ++i) w.add_sample(Fps{30.0});
+  EXPECT_EQ(w.target_fps(), 60);
+}
+
+TEST(FrameWindow, OldSamplesAgeOut) {
+  FrameWindow w;
+  for (int i = 0; i < 160; ++i) w.add_sample(Fps{60.0});
+  EXPECT_EQ(w.target_fps(), 60);
+  // A full window of idle samples displaces the burst completely.
+  for (int i = 0; i < 160; ++i) w.add_sample(Fps{0.0});
+  EXPECT_EQ(w.target_fps(), 0);
+}
+
+TEST(FrameWindow, TransientDipDoesNotFlipTarget) {
+  // 1 s of degraded FPS inside a 4 s window must not move the mode - the
+  // agent's QoS target is robust against its own exploration dips.
+  FrameWindow w;
+  for (int i = 0; i < 120; ++i) w.add_sample(Fps{60.0});
+  for (int i = 0; i < 40; ++i) w.add_sample(Fps{20.0});
+  EXPECT_EQ(w.target_fps(), 60);
+}
+
+TEST(FrameWindow, FractionalSamplesAreRounded) {
+  FrameWindow w;
+  for (int i = 0; i < 10; ++i) w.add_sample(Fps{29.6});
+  EXPECT_EQ(w.target_fps(), 30);
+}
+
+TEST(FrameWindow, NegativeReadingsClampToZero) {
+  FrameWindow w;
+  w.add_sample(Fps{-3.0});
+  EXPECT_EQ(w.target_fps(), 0);
+}
+
+TEST(FrameWindow, ConfigurableLengthChangesCapacity) {
+  const FrameWindow w{25_ms, SimTime::from_seconds(8.0)};
+  EXPECT_EQ(w.capacity(), 320u);
+  const FrameWindow w1{25_ms, SimTime::from_seconds(1.0)};
+  EXPECT_EQ(w1.capacity(), 40u);
+}
+
+TEST(FrameWindow, ClearEmptiesTheWindow) {
+  FrameWindow w;
+  w.add_sample(Fps{60.0});
+  EXPECT_EQ(w.sample_count(), 1u);
+  w.clear();
+  EXPECT_EQ(w.sample_count(), 0u);
+  EXPECT_EQ(w.target_fps(), 0);
+}
+
+TEST(FrameWindow, Validation) {
+  EXPECT_THROW(FrameWindow(SimTime::zero(), 4_s), ConfigError);
+  EXPECT_THROW(FrameWindow(25_ms, 1_ms), ConfigError);
+}
+
+TEST(FrameWindow, FullFlagTracksCapacity) {
+  FrameWindow w{25_ms, SimTime::from_ms(100)};
+  EXPECT_FALSE(w.full());
+  for (int i = 0; i < 4; ++i) w.add_sample(Fps{10.0});
+  EXPECT_TRUE(w.full());
+}
+
+}  // namespace
+}  // namespace nextgov::core

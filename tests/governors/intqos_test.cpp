@@ -1,0 +1,109 @@
+// Unit tests for the Int. QoS PM (Pathania et al. DAC'14) reimplementation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "governors/intqos.hpp"
+#include "soc/soc.hpp"
+
+namespace nextgov::governors {
+namespace {
+
+Observation obs_with_fps(const soc::Soc& soc, double fps) {
+  Observation obs;
+  obs.clusters.resize(soc.cluster_count());
+  for (std::size_t i = 0; i < soc.cluster_count(); ++i) {
+    const auto& c = soc.cluster(i);
+    obs.clusters[i].freq_index = c.freq_index();
+    obs.clusters[i].cap_index = c.max_cap_index();
+    obs.clusters[i].opp_count = c.opps().size();
+    obs.clusters[i].frequency = c.frequency();
+    obs.clusters[i].max_frequency = c.opps().highest().frequency;
+  }
+  obs.fps = Fps{fps};
+  return obs;
+}
+
+TEST(IntQos, TargetTracksAverageFps) {
+  soc::Soc soc = soc::make_exynos9810();
+  IntQosGovernor gov;
+  for (int i = 0; i < 200; ++i) gov.control(obs_with_fps(soc, 45.0), soc);
+  EXPECT_NEAR(gov.target_fps(), 45.0, 2.0);
+}
+
+TEST(IntQos, TargetHasMinimumFloor) {
+  soc::Soc soc = soc::make_exynos9810();
+  IntQosGovernor gov;
+  for (int i = 0; i < 400; ++i) gov.control(obs_with_fps(soc, 1.0), soc);
+  // The EMA decays toward 1 FPS but the applied target floors at 15.
+  EXPECT_LE(gov.target_fps(), 15.0);
+}
+
+TEST(IntQos, LearnsFrameTimeModelFromObservations) {
+  soc::Soc soc = soc::make_exynos9810();
+  IntQosGovernor gov;
+  // Synthetic ground truth: t = 0.004/f_cpu + 0.006/f_gpu + 0.002 (GHz, s).
+  const auto true_time = [](double f_cpu_ghz, double f_gpu_ghz) {
+    return 0.004 / f_cpu_ghz + 0.006 / f_gpu_ghz + 0.002;
+  };
+  Rng rng{3};
+  for (int i = 0; i < 800; ++i) {
+    soc.big().set_freq_index(static_cast<std::size_t>(rng.uniform_int(0, 17)));
+    soc.gpu().set_freq_index(static_cast<std::size_t>(rng.uniform_int(0, 5)));
+    const double t = true_time(soc.big().frequency().ghz(), soc.gpu().frequency().ghz());
+    gov.control(obs_with_fps(soc, 1.0 / t), soc);
+  }
+  const auto theta = gov.model();
+  EXPECT_NEAR(theta[0], 0.004, 0.0015);
+  EXPECT_NEAR(theta[1], 0.006, 0.0015);
+  EXPECT_NEAR(theta[2], 0.002, 0.0015);
+}
+
+TEST(IntQos, CapsComeDownForEasyTargets) {
+  soc::Soc soc = soc::make_exynos9810();
+  IntQosGovernor gov;
+  // 30 FPS achievable far below fmax under the prior model.
+  for (int i = 0; i < 300; ++i) {
+    soc.big().request_frequency(soc.big().max_cap_frequency());
+    soc.gpu().set_freq_index(soc.gpu().max_cap_index());
+    gov.control(obs_with_fps(soc, 30.0), soc);
+  }
+  EXPECT_LT(soc.big().max_cap_index(), soc.big().opps().size() - 1);
+}
+
+TEST(IntQos, DoesNotTouchLittleCluster) {
+  soc::Soc soc = soc::make_exynos9810();
+  IntQosGovernor gov;
+  for (int i = 0; i < 100; ++i) gov.control(obs_with_fps(soc, 40.0), soc);
+  EXPECT_EQ(soc.little().max_cap_index(), soc.little().opps().size() - 1);
+}
+
+TEST(IntQos, InfeasibleTargetFallsBackToMaxCaps) {
+  soc::Soc soc = soc::make_exynos9810();
+  IntQosParams params;
+  params.min_target_fps = 2000.0;  // impossible budget
+  IntQosGovernor gov{params};
+  gov.control(obs_with_fps(soc, 60.0), soc);
+  EXPECT_EQ(soc.big().max_cap_index(), soc.big().opps().size() - 1);
+  EXPECT_EQ(soc.gpu().max_cap_index(), soc.gpu().opps().size() - 1);
+}
+
+TEST(IntQos, ResetRestoresPrior) {
+  soc::Soc soc = soc::make_exynos9810();
+  IntQosGovernor gov;
+  for (int i = 0; i < 100; ++i) gov.control(obs_with_fps(soc, 50.0), soc);
+  gov.reset();
+  EXPECT_DOUBLE_EQ(gov.target_fps(), 0.0);
+}
+
+TEST(IntQos, ValidatesParameters) {
+  IntQosParams p;
+  p.period = SimTime::zero();
+  EXPECT_THROW(IntQosGovernor{p}, ConfigError);
+  p = IntQosParams{};
+  p.rls_forgetting = 0.2;
+  EXPECT_THROW(IntQosGovernor{p}, ConfigError);
+}
+
+}  // namespace
+}  // namespace nextgov::governors

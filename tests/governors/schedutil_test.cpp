@@ -1,0 +1,130 @@
+// Unit tests for the schedutil reimplementation and the Mali step governor.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "governors/schedutil.hpp"
+#include "soc/soc.hpp"
+
+namespace nextgov::governors {
+namespace {
+
+Observation make_obs(const soc::Soc& soc, double busy_big, double busy_little,
+                     double busy_gpu) {
+  Observation obs;
+  obs.clusters.resize(soc.cluster_count());
+  const std::array<double, 3> busy{busy_big, busy_little, busy_gpu};
+  for (std::size_t i = 0; i < soc.cluster_count(); ++i) {
+    const auto& c = soc.cluster(i);
+    obs.clusters[i].freq_index = c.freq_index();
+    obs.clusters[i].cap_index = c.max_cap_index();
+    obs.clusters[i].opp_count = c.opps().size();
+    obs.clusters[i].frequency = c.frequency();
+    obs.clusters[i].max_frequency = c.opps().highest().frequency;
+    obs.clusters[i].busy_hot = busy[i];
+    obs.clusters[i].busy_avg = busy[i];
+  }
+  return obs;
+}
+
+TEST(Schedutil, RaisesFrequencyUnderLoad) {
+  soc::Soc soc = soc::make_exynos9810();
+  SchedutilGovernor gov;
+  // Saturated at the lowest OPP: util_cap = 650/2704 ~ 0.24; target =
+  // 1.25 * 0.24 * 2704 ~ 812 MHz -> next OPP at or above = 858 MHz.
+  gov.control(make_obs(soc, 1.0, 0.0, 0.0), soc);
+  EXPECT_DOUBLE_EQ(soc.big().frequency().mhz(), 858.0);
+}
+
+TEST(Schedutil, ConvergesToFmaxWhenAlwaysSaturated) {
+  soc::Soc soc = soc::make_exynos9810();
+  SchedutilGovernor gov;
+  for (int i = 0; i < 40; ++i) gov.control(make_obs(soc, 1.0, 1.0, 0.0), soc);
+  EXPECT_DOUBLE_EQ(soc.big().frequency().mhz(), 2704.0);
+  EXPECT_DOUBLE_EQ(soc.little().frequency().mhz(), 1794.0);
+}
+
+TEST(Schedutil, SteadyFractionalLoadFindsProportionalFrequency) {
+  soc::Soc soc = soc::make_exynos9810();
+  SchedutilGovernor gov;
+  // Keep capacity-utilization at 0.5 of fmax: busy = 0.5*fmax/f.
+  for (int i = 0; i < 200; ++i) {
+    const double busy = std::min(1.0, 0.5 * 2704.0 / soc.big().frequency().mhz());
+    gov.control(make_obs(soc, busy, 0.0, 0.0), soc);
+  }
+  // Target = 1.25 * 0.5 * 2704 = 1690 MHz; equilibrium is the OPP band
+  // around it (the discrete lattice oscillates by one step).
+  EXPECT_GE(soc.big().frequency().mhz(), 1586.0);
+  EXPECT_LE(soc.big().frequency().mhz(), 1794.0);
+}
+
+TEST(Schedutil, DecayIsSmoothedNotInstant) {
+  soc::Soc soc = soc::make_exynos9810();
+  SchedutilGovernor gov;
+  for (int i = 0; i < 40; ++i) gov.control(make_obs(soc, 1.0, 0.0, 0.0), soc);
+  ASSERT_DOUBLE_EQ(soc.big().frequency().mhz(), 2704.0);
+  // Load vanishes: one period later the frequency must NOT be at minimum.
+  gov.control(make_obs(soc, 0.0, 0.0, 0.0), soc);
+  EXPECT_GT(soc.big().frequency().mhz(), 650.0);
+  // But eventually it decays all the way down.
+  for (int i = 0; i < 100; ++i) gov.control(make_obs(soc, 0.0, 0.0, 0.0), soc);
+  EXPECT_DOUBLE_EQ(soc.big().frequency().mhz(), 650.0);
+}
+
+TEST(Schedutil, RespectsMaxfreqCap) {
+  soc::Soc soc = soc::make_exynos9810();
+  soc.big().set_max_cap_index(4);
+  SchedutilGovernor gov;
+  for (int i = 0; i < 40; ++i) gov.control(make_obs(soc, 1.0, 0.0, 0.0), soc);
+  EXPECT_EQ(soc.big().freq_index(), 4u);
+}
+
+TEST(Schedutil, MaliStepsUpAboveHighWatermark) {
+  soc::Soc soc = soc::make_exynos9810();
+  SchedutilGovernor gov;
+  gov.control(make_obs(soc, 0.0, 0.0, 0.95), soc);
+  EXPECT_EQ(soc.gpu().freq_index(), 1u);
+  gov.control(make_obs(soc, 0.0, 0.0, 0.95), soc);
+  EXPECT_EQ(soc.gpu().freq_index(), 2u);
+}
+
+TEST(Schedutil, MaliStepsDownBelowLowWatermark) {
+  soc::Soc soc = soc::make_exynos9810();
+  soc.gpu().set_freq_index(3);
+  SchedutilGovernor gov;
+  gov.control(make_obs(soc, 0.0, 0.0, 0.3), soc);
+  EXPECT_EQ(soc.gpu().freq_index(), 2u);
+}
+
+TEST(Schedutil, MaliHoldsInsideHysteresisBand) {
+  soc::Soc soc = soc::make_exynos9810();
+  soc.gpu().set_freq_index(3);
+  SchedutilGovernor gov;
+  for (int i = 0; i < 10; ++i) gov.control(make_obs(soc, 0.0, 0.0, 0.75), soc);
+  EXPECT_EQ(soc.gpu().freq_index(), 3u);
+}
+
+TEST(Schedutil, ValidatesParameters) {
+  SchedutilParams p;
+  p.headroom = 0.9;
+  EXPECT_THROW(SchedutilGovernor{p}, ConfigError);
+  p = SchedutilParams{};
+  p.period = SimTime::zero();
+  EXPECT_THROW(SchedutilGovernor{p}, ConfigError);
+  p = SchedutilParams{};
+  p.gpu_up_threshold = 0.5;
+  p.gpu_down_threshold = 0.6;
+  EXPECT_THROW(SchedutilGovernor{p}, ConfigError);
+}
+
+TEST(Schedutil, ResetClearsUtilizationHistory) {
+  soc::Soc soc = soc::make_exynos9810();
+  SchedutilGovernor gov;
+  for (int i = 0; i < 40; ++i) gov.control(make_obs(soc, 1.0, 0.0, 0.0), soc);
+  gov.reset();
+  soc.big().set_freq_index(0);
+  gov.control(make_obs(soc, 0.0, 0.0, 0.0), soc);
+  EXPECT_DOUBLE_EQ(soc.big().frequency().mhz(), 650.0);
+}
+
+}  // namespace
+}  // namespace nextgov::governors

@@ -1,0 +1,94 @@
+// Unit tests for the training-convergence detector.
+#include <gtest/gtest.h>
+
+#include "rl/convergence.hpp"
+
+namespace nextgov::rl {
+namespace {
+
+TEST(Convergence, NotConvergedInitially) {
+  ConvergenceDetector d;
+  EXPECT_FALSE(d.converged());
+  EXPECT_EQ(d.updates(), 0u);
+}
+
+TEST(Convergence, SmallErrorsEventuallyConverge) {
+  ConvergenceDetector d{{.td_threshold = 0.05,
+                         .ema_alpha = 0.05,
+                         .min_updates = 100,
+                         .confirm_updates = 50}};
+  bool fired = false;
+  for (int i = 0; i < 5000 && !fired; ++i) fired = d.add(0.001);
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(d.converged());
+}
+
+TEST(Convergence, LargeErrorsNeverConverge) {
+  ConvergenceDetector d{{.td_threshold = 0.05,
+                         .ema_alpha = 0.05,
+                         .min_updates = 100,
+                         .confirm_updates = 50}};
+  for (int i = 0; i < 5000; ++i) EXPECT_FALSE(d.add(1.0));
+}
+
+TEST(Convergence, RespectsMinUpdates) {
+  ConvergenceDetector d{{.td_threshold = 0.5,
+                         .ema_alpha = 1.0,
+                         .min_updates = 1000,
+                         .confirm_updates = 1}};
+  for (int i = 0; i < 999; ++i) EXPECT_FALSE(d.add(0.0));
+}
+
+TEST(Convergence, SpikeResetsConfirmationWindow) {
+  ConvergenceDetector d{{.td_threshold = 0.05,
+                         .ema_alpha = 1.0,  // EMA == |latest error|
+                         .min_updates = 10,
+                         .confirm_updates = 100}};
+  for (int i = 0; i < 90; ++i) (void)d.add(0.0);
+  (void)d.add(10.0);  // spike wipes the confirmation streak
+  bool fired = false;
+  int steps_to_fire = 0;
+  for (int i = 0; i < 300 && !fired; ++i) {
+    fired = d.add(0.0);
+    ++steps_to_fire;
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_GE(steps_to_fire, 100);
+}
+
+TEST(Convergence, LatchesOnceFired) {
+  ConvergenceDetector d{{.td_threshold = 0.5,
+                         .ema_alpha = 1.0,
+                         .min_updates = 1,
+                         .confirm_updates = 1}};
+  while (!d.add(0.0)) {
+  }
+  EXPECT_TRUE(d.add(100.0));  // stays converged
+  EXPECT_TRUE(d.converged());
+}
+
+TEST(Convergence, ResetStartsOver) {
+  ConvergenceDetector d{{.td_threshold = 0.5,
+                         .ema_alpha = 1.0,
+                         .min_updates = 1,
+                         .confirm_updates = 1}};
+  while (!d.add(0.0)) {
+  }
+  d.reset();
+  EXPECT_FALSE(d.converged());
+  EXPECT_EQ(d.updates(), 0u);
+}
+
+TEST(Convergence, NegativeErrorsUseAbsoluteValue) {
+  ConvergenceDetector d{{.td_threshold = 0.05,
+                         .ema_alpha = 1.0,
+                         .min_updates = 1,
+                         .confirm_updates = 5}};
+  for (int i = 0; i < 100; ++i) {
+    if (d.add(-0.001)) break;
+  }
+  EXPECT_TRUE(d.converged());
+}
+
+}  // namespace
+}  // namespace nextgov::rl

@@ -1,0 +1,107 @@
+// Unit + property tests for binning and state packing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rl/discretizer.hpp"
+
+namespace nextgov::rl {
+namespace {
+
+TEST(LinearBins, BasicBinning) {
+  const LinearBins bins{0.0, 60.0, 30};  // the paper's 30 FPS levels
+  EXPECT_EQ(bins.count(), 30u);
+  EXPECT_EQ(bins.bin(0.0), 0u);
+  EXPECT_EQ(bins.bin(1.9), 0u);
+  EXPECT_EQ(bins.bin(2.1), 1u);
+  EXPECT_EQ(bins.bin(59.9), 29u);
+  EXPECT_EQ(bins.bin(60.0), 29u);
+}
+
+TEST(LinearBins, ClampsOutOfRange) {
+  const LinearBins bins{20.0, 95.0, 8};
+  EXPECT_EQ(bins.bin(-100.0), 0u);
+  EXPECT_EQ(bins.bin(500.0), 7u);
+}
+
+TEST(LinearBins, CentersAreMonotoneAndInsideRange) {
+  const LinearBins bins{0.0, 12.0, 8};
+  double prev = -1.0;
+  for (std::size_t i = 0; i < bins.count(); ++i) {
+    const double c = bins.center(i);
+    EXPECT_GT(c, prev);
+    EXPECT_GT(c, 0.0);
+    EXPECT_LT(c, 12.0);
+    prev = c;
+  }
+}
+
+TEST(LinearBins, CenterRoundTripsThroughBin) {
+  const LinearBins bins{0.0, 60.0, 30};
+  for (std::size_t i = 0; i < bins.count(); ++i) EXPECT_EQ(bins.bin(bins.center(i)), i);
+}
+
+TEST(LinearBins, Validation) {
+  EXPECT_THROW(LinearBins(0.0, 1.0, 0), ConfigError);
+  EXPECT_THROW(LinearBins(1.0, 1.0, 4), ConfigError);
+  EXPECT_THROW(LinearBins(2.0, 1.0, 4), ConfigError);
+}
+
+TEST(MixedRadixPacker, EncodeDecodeRoundTrip) {
+  MixedRadixPacker packer;
+  packer.add_field(18);  // big OPPs
+  packer.add_field(10);  // LITTLE OPPs
+  packer.add_field(6);   // GPU OPPs
+  packer.add_field(30);  // FPS levels
+  EXPECT_EQ(packer.state_space_size(), 18u * 10u * 6u * 30u);
+  const std::vector<std::size_t> fields{17, 9, 5, 29};
+  const StateKey key = packer.encode(fields);
+  EXPECT_EQ(packer.decode(key), fields);
+  EXPECT_EQ(key, packer.state_space_size() - 1);  // max fields -> max key
+}
+
+TEST(MixedRadixPacker, DistinctFieldsGiveDistinctKeys) {
+  MixedRadixPacker packer;
+  packer.add_field(4);
+  packer.add_field(3);
+  std::vector<StateKey> keys;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) keys.push_back(packer.encode({a, b}));
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+  EXPECT_EQ(keys.front(), 0u);
+  EXPECT_EQ(keys.back(), 11u);
+}
+
+TEST(MixedRadixPacker, RejectsFieldCountMismatch) {
+  MixedRadixPacker packer;
+  packer.add_field(4);
+  EXPECT_THROW((void)packer.encode({1, 2}), ConfigError);
+}
+
+TEST(MixedRadixPacker, RejectsOverflowAndZeroCardinality) {
+  MixedRadixPacker packer;
+  EXPECT_THROW(packer.add_field(0), ConfigError);
+  packer.add_field(std::size_t{1} << 62);
+  EXPECT_THROW(packer.add_field(8), ConfigError);
+}
+
+TEST(MixedRadixPacker, PaperStateSpaceFitsIn64Bits) {
+  // 18*10*6 freqs x 30 fps x 30 target x 8 power x 8x8 temps ~ 5e8 states.
+  MixedRadixPacker packer;
+  packer.add_field(18);
+  packer.add_field(10);
+  packer.add_field(6);
+  packer.add_field(30);
+  packer.add_field(30);
+  packer.add_field(8);
+  packer.add_field(8);
+  packer.add_field(8);
+  EXPECT_EQ(packer.state_space_size(), 18ull * 10 * 6 * 30 * 30 * 8 * 8 * 8);
+}
+
+}  // namespace
+}  // namespace nextgov::rl

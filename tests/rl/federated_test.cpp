@@ -1,0 +1,89 @@
+// Unit tests for federated Q-table merging and cloud timing (Section IV-C).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+#include "rl/federated.hpp"
+
+namespace nextgov::rl {
+namespace {
+
+TEST(Federated, SingleTableIsIdentityOnTriedEntries) {
+  QTable t{3};
+  t.set_q(1, 0, 0.5);
+  t.set_q(1, 2, -0.25);
+  t.record_visit(1);
+  const std::array<const QTable*, 1> tables{&t};
+  const QTable merged = merge_q_tables(tables);
+  EXPECT_FLOAT_EQ(static_cast<float>(merged.q(1, 0)), 0.5f);
+  EXPECT_FLOAT_EQ(static_cast<float>(merged.q(1, 2)), -0.25f);
+  EXPECT_EQ(merged.visits(1), 1u);
+}
+
+TEST(Federated, VisitWeightedAverage) {
+  QTable a{2};
+  a.set_q(5, 0, 1.0);
+  for (int i = 0; i < 9; ++i) a.record_visit(5);  // weight 10
+  QTable b{2};
+  b.set_q(5, 0, 0.0);
+  // b has 0 recorded visits -> weight 1.
+  b.set_q(5, 1, 0.5);
+  const std::array<const QTable*, 2> tables{&a, &b};
+  const QTable merged = merge_q_tables(tables);
+  EXPECT_NEAR(merged.q(5, 0), 10.0 / 11.0, 1e-5);
+  // Action 1 was tried only by b.
+  EXPECT_NEAR(merged.q(5, 1), 0.5, 1e-6);
+}
+
+TEST(Federated, DisjointStatesUnionize) {
+  QTable a{2};
+  a.set_q(1, 0, 0.4);
+  QTable b{2};
+  b.set_q(2, 1, 0.7);
+  const std::array<const QTable*, 2> tables{&a, &b};
+  const QTable merged = merge_q_tables(tables);
+  EXPECT_EQ(merged.state_count(), 2u);
+  EXPECT_FLOAT_EQ(static_cast<float>(merged.q(1, 0)), 0.4f);
+  EXPECT_FLOAT_EQ(static_cast<float>(merged.q(2, 1)), 0.7f);
+}
+
+TEST(Federated, UntriedOptimisticEntriesDoNotPolluteMerge) {
+  QTable a{2, /*default_q=*/5.0};  // optimistic init
+  a.set_q(1, 0, 0.3);              // only action 0 tried
+  QTable b{2, 5.0};
+  b.set_q(1, 0, 0.5);
+  const std::array<const QTable*, 2> tables{&a, &b};
+  const QTable merged = merge_q_tables(tables);
+  EXPECT_NEAR(merged.q(1, 0), 0.4, 1e-6);
+  // Action 1 untried everywhere: merged entry keeps the merged-table
+  // default (0), not the devices' optimism.
+  EXPECT_EQ(merged.best_tried_action(1, 9), 0u);
+}
+
+TEST(Federated, MismatchedActionCountsRejected) {
+  QTable a{2};
+  QTable b{3};
+  const std::array<const QTable*, 2> tables{&a, &b};
+  EXPECT_THROW((void)merge_q_tables(tables), ConfigError);
+}
+
+TEST(Federated, EmptyInputRejected) {
+  EXPECT_THROW((void)merge_q_tables({}), ConfigError);
+}
+
+TEST(Federated, NullTableRejected) {
+  QTable a{2};
+  const std::array<const QTable*, 2> tables{&a, nullptr};
+  EXPECT_THROW((void)merge_q_tables(tables), ConfigError);
+}
+
+TEST(CloudTiming, AddsPaperCommunicationOverhead) {
+  // Section IV-C: "maximum communication (to- and fro-) overhead of 4 secs".
+  const CloudTimingModel model{};
+  EXPECT_DOUBLE_EQ(model.total_time_s(7.0), 11.0);
+  EXPECT_DOUBLE_EQ(CloudTimingModel{2.5}.total_time_s(0.0), 2.5);
+}
+
+}  // namespace
+}  // namespace nextgov::rl

@@ -1,0 +1,79 @@
+// Unit tests for epsilon-greedy action selection and decay.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+#include "rl/policy.hpp"
+
+namespace nextgov::rl {
+namespace {
+
+TEST(EpsilonSchedule, LinearDecayWithClamp) {
+  const EpsilonSchedule s{1.0, 0.1, 1000};
+  EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+  EXPECT_NEAR(s.at(500), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(s.at(1000), 0.1);
+  EXPECT_DOUBLE_EQ(s.at(99999), 0.1);
+}
+
+TEST(EpsilonSchedule, ZeroDecayStepsIsConstantEnd) {
+  const EpsilonSchedule s{0.5, 0.2, 0};
+  EXPECT_DOUBLE_EQ(s.at(0), 0.2);
+}
+
+TEST(Policy, ValidatesSchedule) {
+  EXPECT_THROW(EpsilonGreedyPolicy({1.5, 0.1, 10}), ConfigError);
+  EXPECT_THROW(EpsilonGreedyPolicy({0.5, 0.6, 10}), ConfigError);
+}
+
+TEST(Policy, GreedySelectionFollowsTable) {
+  QTable t{4};
+  t.set_q(1, 2, 1.0);
+  EpsilonGreedyPolicy policy{{0.0, 0.0, 1}};
+  EXPECT_EQ(policy.select_greedy(t, 1), 2u);
+}
+
+TEST(Policy, ZeroEpsilonAlwaysExploits) {
+  QTable t{4};
+  t.set_q(1, 3, 1.0);
+  EpsilonGreedyPolicy policy{{0.0, 0.0, 1}};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.select(t, 1, rng), 3u);
+}
+
+TEST(Policy, FullEpsilonExploresUniformly) {
+  QTable t{4};
+  t.set_q(1, 0, 100.0);  // greedy would always pick 0
+  EpsilonGreedyPolicy policy{{1.0, 1.0, 1}};
+  Rng rng{2};
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 40'000; ++i) ++counts[policy.select(t, 1, rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 500);
+}
+
+TEST(Policy, StepCounterAdvancesOnlyOnExploringSelect) {
+  QTable t{2};
+  EpsilonGreedyPolicy policy{{0.5, 0.1, 100}};
+  Rng rng{3};
+  EXPECT_EQ(policy.steps_taken(), 0u);
+  (void)policy.select(t, 0, rng);
+  (void)policy.select(t, 0, rng);
+  EXPECT_EQ(policy.steps_taken(), 2u);
+  (void)policy.select_greedy(t, 0);
+  EXPECT_EQ(policy.steps_taken(), 2u);
+  policy.reset();
+  EXPECT_EQ(policy.steps_taken(), 0u);
+}
+
+TEST(Policy, EpsilonDecaysAcrossSelections) {
+  QTable t{2};
+  EpsilonGreedyPolicy policy{{0.8, 0.0, 1000}};
+  Rng rng{5};
+  EXPECT_DOUBLE_EQ(policy.current_epsilon(), 0.8);
+  for (int i = 0; i < 1000; ++i) (void)policy.select(t, 0, rng);
+  EXPECT_DOUBLE_EQ(policy.current_epsilon(), 0.0);
+}
+
+}  // namespace
+}  // namespace nextgov::rl

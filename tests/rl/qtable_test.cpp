@@ -1,0 +1,120 @@
+// Unit tests for the sparse Q-table, including persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "rl/qtable.hpp"
+
+namespace nextgov::rl {
+namespace {
+
+TEST(QTable, StartsEmptyWithDefaultValues) {
+  QTable t{9};
+  EXPECT_EQ(t.state_count(), 0u);
+  EXPECT_DOUBLE_EQ(t.q(123, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_q(123), 0.0);
+  EXPECT_EQ(t.best_action(123, 5), 5u);  // fallback for unknown state
+}
+
+TEST(QTable, OptimisticDefaultAppliesToUnseenEntries) {
+  QTable t{4, 1.5};
+  EXPECT_DOUBLE_EQ(t.q(7, 2), 1.5);
+  EXPECT_DOUBLE_EQ(t.max_q(7), 1.5);
+  t.set_q(7, 0, 0.3);
+  // Touched entry materializes with the optimistic default elsewhere.
+  EXPECT_DOUBLE_EQ(t.q(7, 1), 1.5);
+  EXPECT_FLOAT_EQ(static_cast<float>(t.q(7, 0)), 0.3f);  // float storage
+}
+
+TEST(QTable, RejectsZeroActions) { EXPECT_THROW(QTable{0}, ConfigError); }
+
+TEST(QTable, BestActionPrefersHighestQ) {
+  QTable t{3};
+  t.set_q(1, 0, 0.1);
+  t.set_q(1, 1, 0.9);
+  t.set_q(1, 2, 0.5);
+  EXPECT_EQ(t.best_action(1), 1u);
+  EXPECT_DOUBLE_EQ(t.max_q(1), static_cast<float>(0.9));
+}
+
+TEST(QTable, BestTriedActionIgnoresUntriedOptimisticEntries) {
+  QTable t{3, 5.0};  // untried entries look great at 5.0
+  t.set_q(1, 2, 0.4);
+  // best_action would pick an untried 5.0; best_tried_action must not.
+  EXPECT_EQ(t.best_action(1), 0u);
+  EXPECT_EQ(t.best_tried_action(1, 99), 2u);
+  // Unknown state: fallback.
+  EXPECT_EQ(t.best_tried_action(42, 7), 7u);
+}
+
+TEST(QTable, VisitAccounting) {
+  QTable t{2};
+  t.record_visit(10);
+  t.record_visit(10);
+  t.record_visit(20);
+  EXPECT_EQ(t.visits(10), 2u);
+  EXPECT_EQ(t.visits(20), 1u);
+  EXPECT_EQ(t.visits(30), 0u);
+  EXPECT_EQ(t.total_visits(), 3u);
+  t.add_visits(20, 5);
+  EXPECT_EQ(t.visits(20), 6u);
+  EXPECT_EQ(t.total_visits(), 8u);
+}
+
+TEST(QTable, ClearResetsEverything) {
+  QTable t{2};
+  t.set_q(1, 0, 0.5);
+  t.record_visit(1);
+  t.clear();
+  EXPECT_EQ(t.state_count(), 0u);
+  EXPECT_EQ(t.total_visits(), 0u);
+}
+
+class QTablePersistence : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/nextgov_qtable_test.bin";
+};
+
+TEST_F(QTablePersistence, SaveLoadRoundTrip) {
+  QTable t{9};
+  for (StateKey s = 0; s < 50; ++s) {
+    for (std::size_t a = 0; a < 9; a += 2) t.set_q(s * 1000, a, 0.01 * static_cast<double>(s) + 0.1 * static_cast<double>(a));
+    t.record_visit(s * 1000);
+  }
+  t.save(path_);
+  const QTable loaded = QTable::load(path_);
+  EXPECT_EQ(loaded.action_count(), 9u);
+  EXPECT_EQ(loaded.state_count(), 50u);
+  EXPECT_EQ(loaded.total_visits(), t.total_visits());
+  for (StateKey s = 0; s < 50; ++s) {
+    for (std::size_t a = 0; a < 9; ++a) {
+      EXPECT_FLOAT_EQ(static_cast<float>(loaded.q(s * 1000, a)),
+                      static_cast<float>(t.q(s * 1000, a)));
+    }
+    EXPECT_EQ(loaded.best_tried_action(s * 1000, 1), t.best_tried_action(s * 1000, 1));
+  }
+}
+
+TEST_F(QTablePersistence, LoadRejectsGarbage) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a qtable", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(QTable::load(path_), IoError);
+}
+
+TEST_F(QTablePersistence, LoadMissingFileThrows) {
+  EXPECT_THROW(QTable::load("/nonexistent/q.bin"), IoError);
+}
+
+TEST_F(QTablePersistence, SaveToBadPathThrows) {
+  const QTable t{2};
+  EXPECT_THROW(t.save("/nonexistent-dir-xyz/q.bin"), IoError);
+}
+
+}  // namespace
+}  // namespace nextgov::rl

@@ -1,0 +1,50 @@
+// Unit tests for sensor quantization and the virtual device sensor.
+#include <gtest/gtest.h>
+
+#include "soc/sensors.hpp"
+
+namespace nextgov::soc {
+namespace {
+
+TEST(Sensors, TemperatureQuantizedToTenthDegree) {
+  EXPECT_DOUBLE_EQ(quantize_temperature(Celsius{41.234}).value(), 41.2);
+  EXPECT_DOUBLE_EQ(quantize_temperature(Celsius{41.25}).value(), 41.3);
+  EXPECT_DOUBLE_EQ(quantize_temperature(Celsius{-0.04}).value(), -0.0);
+}
+
+TEST(Sensors, PowerQuantizedToMilliwatt) {
+  EXPECT_DOUBLE_EQ(quantize_power(Watts{3.51544}).value(), 3.515);
+  EXPECT_DOUBLE_EQ(quantize_power(Watts{3.5156}).value(), 3.516);
+}
+
+TEST(Sensors, QuantizationIsIdempotent) {
+  const Celsius t = quantize_temperature(Celsius{37.77});
+  EXPECT_EQ(quantize_temperature(t).value(), t.value());
+  const Watts p = quantize_power(Watts{1.2345});
+  EXPECT_EQ(quantize_power(p).value(), p.value());
+}
+
+TEST(Sensors, VirtualDeviceSensorIsDocumentedWeightedAverage) {
+  // 0.40*battery + 0.35*skin + 0.25*max(soc) per DESIGN.md.
+  const Celsius t = virtual_device_temperature(Celsius{30.0}, Celsius{28.0}, Celsius{60.0},
+                                               Celsius{40.0}, Celsius{50.0});
+  EXPECT_DOUBLE_EQ(t.value(), 0.40 * 30.0 + 0.35 * 28.0 + 0.25 * 60.0);
+}
+
+TEST(Sensors, VirtualSensorUsesHottestSocNode) {
+  const Celsius gpu_hottest = virtual_device_temperature(
+      Celsius{30.0}, Celsius{30.0}, Celsius{40.0}, Celsius{35.0}, Celsius{70.0});
+  const Celsius big_hottest = virtual_device_temperature(
+      Celsius{30.0}, Celsius{30.0}, Celsius{70.0}, Celsius{35.0}, Celsius{40.0});
+  EXPECT_DOUBLE_EQ(gpu_hottest.value(), big_hottest.value());
+}
+
+TEST(Sensors, UniformTemperatureIsFixedPoint) {
+  const Celsius t =
+      virtual_device_temperature(Celsius{21.0}, Celsius{21.0}, Celsius{21.0}, Celsius{21.0},
+                                 Celsius{21.0});
+  EXPECT_NEAR(t.value(), 21.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nextgov::soc

@@ -1,0 +1,75 @@
+// Calibration tests for the Note 9 thermal network (ranges from DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "thermal/note9_model.hpp"
+
+namespace nextgov::thermal {
+namespace {
+
+TEST(Note9Thermal, HasSixNamedNodes) {
+  auto model = make_note9_thermal(Celsius{21.0});
+  EXPECT_EQ(model.network.node_count(), 6u);
+  EXPECT_EQ(model.network.node_name(model.nodes.big), "big");
+  EXPECT_EQ(model.network.node_name(model.nodes.skin), "skin");
+  EXPECT_EQ(model.network.node_name(model.nodes.battery), "battery");
+}
+
+TEST(Note9Thermal, IdleSteadyStateIsMildlyWarm) {
+  // ~1.3 W device floor: big junction should settle around 27-35 C.
+  auto model = make_note9_thermal(Celsius{21.0});
+  model.network.set_power(model.nodes.big, Watts{0.10});
+  model.network.set_power(model.nodes.little, Watts{0.05});
+  model.network.set_power(model.nodes.gpu, Watts{0.05});
+  model.network.set_power(model.nodes.skin, Watts{1.0});
+  model.network.set_power(model.nodes.soc_board, Watts{0.35});
+  const auto ss = model.network.steady_state();
+  EXPECT_GT(ss[model.nodes.big].value(), 24.0);
+  EXPECT_LT(ss[model.nodes.big].value(), 36.0);
+}
+
+TEST(Note9Thermal, SustainedGameLoadPushesBigInto70to95Band) {
+  // Heavy game under schedutil: big ~2.6 W, GPU ~2.2 W, LITTLE ~0.5 W.
+  auto model = make_note9_thermal(Celsius{21.0});
+  model.network.set_power(model.nodes.big, Watts{2.6});
+  model.network.set_power(model.nodes.little, Watts{0.5});
+  model.network.set_power(model.nodes.gpu, Watts{2.2});
+  model.network.set_power(model.nodes.skin, Watts{1.0});
+  model.network.set_power(model.nodes.soc_board, Watts{0.35});
+  const auto ss = model.network.steady_state();
+  EXPECT_GT(ss[model.nodes.big].value(), 70.0);
+  EXPECT_LT(ss[model.nodes.big].value(), 100.0);
+  // Skin must stay far below the junction (it is what the user touches).
+  EXPECT_LT(ss[model.nodes.skin].value(), 50.0);
+  EXPECT_GT(ss[model.nodes.big].value(), ss[model.nodes.soc_board].value());
+}
+
+TEST(Note9Thermal, JunctionsRespondInSecondsSkinInMinutes) {
+  auto model = make_note9_thermal(Celsius{21.0});
+  model.network.set_power(model.nodes.big, Watts{2.5});
+  model.network.step(SimTime::from_seconds(10.0));
+  const double big_10s = model.network.temperature(model.nodes.big).value();
+  const double skin_10s = model.network.temperature(model.nodes.skin).value();
+  EXPECT_GT(big_10s, 30.0);        // junction already far above ambient
+  EXPECT_LT(skin_10s, 23.0);       // chassis barely moved
+  model.network.step(SimTime::from_seconds(600.0));
+  EXPECT_GT(model.network.temperature(model.nodes.skin).value(), skin_10s + 2.0);
+}
+
+TEST(Note9Thermal, BigIsTheHotspotUnderCpuLoad) {
+  auto model = make_note9_thermal(Celsius{21.0});
+  model.network.set_power(model.nodes.big, Watts{2.0});
+  model.network.set_power(model.nodes.gpu, Watts{0.5});
+  const auto ss = model.network.steady_state();
+  EXPECT_GT(ss[model.nodes.big].value(), ss[model.nodes.gpu].value());
+  EXPECT_GT(ss[model.nodes.big].value(), ss[model.nodes.little].value());
+  EXPECT_GT(ss[model.nodes.big].value(), ss[model.nodes.skin].value());
+}
+
+TEST(Note9Thermal, AmbientParameterPropagates) {
+  auto cold = make_note9_thermal(Celsius{10.0});
+  EXPECT_DOUBLE_EQ(cold.network.ambient().value(), 10.0);
+  EXPECT_DOUBLE_EQ(cold.network.temperature(cold.nodes.big).value(), 10.0);
+}
+
+}  // namespace
+}  // namespace nextgov::thermal

@@ -1,0 +1,67 @@
+// Unit tests for multi-app sessions (the Fig. 1 / Fig. 3 workload).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/session.hpp"
+
+namespace nextgov::workload {
+namespace {
+
+using namespace nextgov::literals;
+
+TEST(Session, Fig1SessionWalksHomeFacebookSpotify) {
+  auto session = make_fig1_session(1);
+  EXPECT_DOUBLE_EQ(session->total_duration().seconds(), 280.0);
+
+  session->update(SimTime::from_seconds(1.0), 1_ms);
+  EXPECT_EQ(session->current_app_name(), "home");
+  session->update(SimTime::from_seconds(31.0), 1_ms);
+  EXPECT_EQ(session->current_app_name(), "facebook");
+  session->update(SimTime::from_seconds(151.0), 1_ms);
+  EXPECT_EQ(session->current_app_name(), "spotify");
+  // Past the end: stays on the last segment.
+  session->update(SimTime::from_seconds(400.0), 1_ms);
+  EXPECT_EQ(session->current_app_name(), "spotify");
+}
+
+TEST(Session, AppSwitchEntersInitialPhase) {
+  auto session = make_fig1_session(2);
+  // Drive up to just after the facebook switch; facebook opens with its
+  // splash (initial_only) phase - the launch-cost scenario.
+  SimTime t = SimTime::zero();
+  while (t < SimTime::from_seconds(30.2)) {
+    session->update(t, 1_ms);
+    t += 1_ms;
+  }
+  EXPECT_EQ(session->current_app_name(), "facebook");
+  EXPECT_EQ(session->phase_name(), "splash");
+}
+
+TEST(Session, RejectsEmptyOrInvalidSegments) {
+  EXPECT_THROW(SessionApp({}, 1), ConfigError);
+  EXPECT_THROW(SessionApp({{AppId::kHome, SimTime::zero()}}, 1), ConfigError);
+}
+
+TEST(Session, DelegatesFrameDemandToActiveApp) {
+  std::vector<SessionSegment> segs{{AppId::kLineage, SimTime::from_seconds(60.0)}};
+  SessionApp session{std::move(segs), 3};
+  session.update(SimTime::zero(), 1_ms);
+  EXPECT_EQ(session.phase_name(), "loading");
+  EXPECT_GE(session.background().big_hot, 0.9);
+}
+
+TEST(Session, DeterministicAcrossReplicas) {
+  auto a = make_fig1_session(7);
+  auto b = make_fig1_session(7);
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < 280'000; i += 10) {
+    a->update(t, SimTime::from_ms(10));
+    b->update(t, SimTime::from_ms(10));
+    ASSERT_EQ(a->phase_name(), b->phase_name());
+    ASSERT_EQ(a->current_app_name(), b->current_app_name());
+    t += SimTime::from_ms(10);
+  }
+}
+
+}  // namespace
+}  // namespace nextgov::workload
