@@ -27,6 +27,7 @@ workload::FpsTrace record_fps_trace(workload::AppId app, double seconds, std::ui
   sim::ExperimentConfig cfg;
   cfg.governor = sim::GovernorKind::kSchedutil;
   cfg.duration = SimTime::from_seconds(seconds);
+  cfg.seed = seed;
   auto engine = sim::make_engine(
       [app](std::uint64_t s) { return workload::make_app(app, s); }, cfg);
   workload::FpsTrace trace;
@@ -35,7 +36,10 @@ workload::FpsTrace record_fps_trace(workload::AppId app, double seconds, std::ui
   while (engine->now() < cfg.duration) {
     engine->step();
     if (engine->now() >= next_sample) {
-      trace.add(engine->now(), engine->observation().fps.value());
+      // Query the pipeline's sliding window directly: the engine only
+      // refreshes the cached observation on governor/record steps, and this
+      // sampler needs the exact 25 ms stream.
+      trace.add(engine->now(), engine->pipeline().current_fps(engine->now()).value());
       next_sample = engine->now() + sample;
     }
   }

@@ -22,6 +22,11 @@ int main() {
 
   std::printf("%12s %10s %13s %18s %14s\n", "fps_levels", "states", "mean_reward",
               "deployed_power_W", "deployed_FPS");
+
+  // Train per quantization level, then run every deployed evaluation
+  // session through one runner plan.
+  std::vector<sim::TrainingResult> trained;
+  trained.reserve(std::size(levels));
   for (std::size_t level : levels) {
     core::NextConfig config;
     config.fps_levels = level;
@@ -31,20 +36,28 @@ int main() {
     sim::TrainingOptions opts;
     opts.max_duration = SimTime::from_seconds(1200.0);
     opts.seed = 31;
-    const sim::TrainingResult tr = sim::train_next_on(factory, config, opts);
+    trained.push_back(sim::train_next_on(factory, config, opts));
+  }
 
+  sim::RunPlan plan;
+  for (std::size_t i = 0; i < std::size(levels); ++i) {
     sim::ExperimentConfig cfg;
     cfg.governor = sim::GovernorKind::kNext;
-    cfg.next_config = config;
-    cfg.trained_table = &tr.table;
+    cfg.next_config.fps_levels = levels[i];
+    cfg.trained_table = &trained[i].table;
     cfg.duration = SimTime::from_seconds(300.0);
     cfg.seed = 2;
-    const sim::SessionResult r = sim::run_app_session(workload::AppId::kPubg, cfg);
+    plan.add(workload::AppId::kPubg, cfg);
+  }
+  const auto results = sim::run_plan(plan);
 
-    std::printf("%12zu %10zu %13.3f %18.3f %14.1f%s\n", level, tr.states_visited,
+  for (std::size_t i = 0; i < std::size(levels); ++i) {
+    const sim::TrainingResult& tr = trained[i];
+    const sim::SessionResult& r = results[i];
+    std::printf("%12zu %10zu %13.3f %18.3f %14.1f%s\n", levels[i], tr.states_visited,
                 tr.final_mean_reward, r.avg_power_w, r.avg_fps,
-                level == 30 ? "   <- paper's choice" : "");
-    csv.row({static_cast<double>(level), static_cast<double>(tr.states_visited),
+                levels[i] == 30 ? "   <- paper's choice" : "");
+    csv.row({static_cast<double>(levels[i]), static_cast<double>(tr.states_visited),
              tr.final_mean_reward, r.avg_power_w, r.avg_fps});
   }
   std::printf("\nexpected shape: state count grows with levels (training cost, Fig. 6);\n"

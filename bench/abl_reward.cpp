@@ -27,12 +27,14 @@ int main() {
                               {"ppw", core::RewardMetric::kPpw},
                               {"fps_only", core::RewardMetric::kFpsOnly}};
 
-  // Stock baseline for context.
+  // Stock baseline for context (a one-session runner plan).
   sim::ExperimentConfig sched_cfg;
   sched_cfg.governor = sim::GovernorKind::kSchedutil;
   sched_cfg.duration = SimTime::from_seconds(300.0);
   sched_cfg.seed = 2;
-  const sim::SessionResult sched = sim::run_app_session(workload::AppId::kLineage, sched_cfg);
+  sim::RunPlan sched_plan;
+  sched_plan.add(workload::AppId::kLineage, sched_cfg);
+  const sim::SessionResult sched = std::move(sim::run_plan(sched_plan).front());
 
   CsvWriter csv{out_dir() + "/abl_reward.csv",
                 {"reward", "avg_power_w", "peak_temp_big_c", "avg_fps"}};
@@ -42,6 +44,10 @@ int main() {
   csv.row_strings({"schedutil", std::to_string(sched.avg_power_w),
                    std::to_string(sched.peak_temp_big_c), std::to_string(sched.avg_fps)});
 
+  // Train the three reward variants (each builds its own table), then run
+  // all deployed evaluation sessions through one runner plan.
+  std::vector<sim::TrainingResult> trained;
+  trained.reserve(std::size(variants));
   for (const auto& variant : variants) {
     core::NextConfig config;
     config.reward_metric = variant.metric;
@@ -51,15 +57,24 @@ int main() {
     sim::TrainingOptions opts;
     opts.max_duration = SimTime::from_seconds(1500.0);
     opts.seed = 17;
-    const sim::TrainingResult tr = sim::train_next_on(factory, config, opts);
+    trained.push_back(sim::train_next_on(factory, config, opts));
+  }
 
+  sim::RunPlan plan;
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
     sim::ExperimentConfig cfg;
     cfg.governor = sim::GovernorKind::kNext;
-    cfg.next_config = config;
-    cfg.trained_table = &tr.table;
+    cfg.next_config.reward_metric = variants[i].metric;
+    cfg.trained_table = &trained[i].table;
     cfg.duration = SimTime::from_seconds(300.0);
     cfg.seed = 2;
-    const sim::SessionResult r = sim::run_app_session(workload::AppId::kLineage, cfg);
+    plan.add(workload::AppId::kLineage, cfg);
+  }
+  const auto results = sim::run_plan(plan);
+
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
+    const auto& variant = variants[i];
+    const sim::SessionResult& r = results[i];
     std::printf("%-10s %14.3f %18.1f %10.1f%s\n", variant.name, r.avg_power_w,
                 r.peak_temp_big_c, r.avg_fps,
                 variant.metric == core::RewardMetric::kPpdw ? "   <- paper's metric" : "");

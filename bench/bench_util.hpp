@@ -6,9 +6,12 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 
 namespace nextgov::bench {
 
@@ -45,12 +48,53 @@ inline sim::TrainingResult train_for_eval(sim::AppFactory factory, std::uint64_t
   return sim::train_next_on(std::move(factory), config, opts);
 }
 
-/// Mean of a field over several seeds of the same experiment.
-template <typename Fn>
-double mean_over_seeds(int seeds, std::uint64_t base_seed, Fn&& fn) {
+/// Adds `seeds` sessions (base_seed, base_seed+1, ...) of `cfg` to `plan`.
+inline void add_seed_sweep(sim::RunPlan& plan, workload::AppId app,
+                           const sim::ExperimentConfig& cfg, int seeds,
+                           std::uint64_t base_seed = 1) {
+  for (int i = 0; i < seeds; ++i) {
+    sim::ExperimentConfig c = cfg;
+    c.seed = base_seed + static_cast<std::uint64_t>(i);
+    plan.add(app, c);
+  }
+}
+
+/// Mean of one SessionResult field over a slice of runner results.
+inline double mean_field(std::span<const sim::SessionResult> results,
+                         double sim::SessionResult::* field) {
+  if (results.empty()) return 0.0;
   double sum = 0.0;
-  for (int i = 0; i < seeds; ++i) sum += fn(base_seed + static_cast<std::uint64_t>(i));
-  return sum / seeds;
+  for (const auto& r : results) sum += r.*field;
+  return sum / static_cast<double>(results.size());
+}
+
+/// The Fig. 7/8 evaluation sweep for one app: `seeds` schedutil sessions,
+/// `seeds` Next sessions deploying `table`, and - for games - `seeds`
+/// Int. QoS sessions. Results come back in that slice order; read them
+/// with governor_slice(). Returns the number of governor slices (2 or 3).
+inline std::size_t add_governor_sweeps(sim::RunPlan& plan, workload::AppId app,
+                                       SimTime duration, int seeds,
+                                       const rl::QTable* table) {
+  sim::ExperimentConfig base;
+  base.duration = duration;
+  base.governor = sim::GovernorKind::kSchedutil;
+  add_seed_sweep(plan, app, base, seeds);
+  base.governor = sim::GovernorKind::kNext;
+  base.trained_table = table;
+  add_seed_sweep(plan, app, base, seeds);
+  if (!workload::is_game(app)) return 2;
+  base.governor = sim::GovernorKind::kIntQos;
+  base.trained_table = nullptr;
+  add_seed_sweep(plan, app, base, seeds);
+  return 3;
+}
+
+/// Slice `index` (0 = schedutil, 1 = Next, 2 = IntQos) of an
+/// add_governor_sweeps() result set.
+inline std::span<const sim::SessionResult> governor_slice(
+    std::span<const sim::SessionResult> results, std::size_t index, int seeds) {
+  return results.subspan(index * static_cast<std::size_t>(seeds),
+                         static_cast<std::size_t>(seeds));
 }
 
 }  // namespace nextgov::bench

@@ -24,9 +24,10 @@ int main() {
   cfg.record_period = SimTime::from_seconds(3.0);  // the figure's 3 s sampling
   cfg.seed = 1;
 
-  const sim::SessionResult r = sim::run_session(
-      [](std::uint64_t seed) { return workload::make_fig1_session(seed); }, "fig1session",
-      cfg);
+  sim::RunPlan plan;
+  plan.add([](std::uint64_t seed) { return workload::make_fig1_session(seed); }, "fig1session",
+           cfg);
+  const sim::SessionResult r = std::move(sim::run_plan(plan).front());
 
   std::printf("%8s %10s %8s %14s %14s\n", "time_s", "app", "fps", "f_big_MHz", "f_little_MHz");
   for (const auto& s : r.series) {

@@ -24,18 +24,22 @@ int main() {
   cfg.record_period = SimTime::from_seconds(1.0);
   cfg.seed = 1;
 
-  cfg.governor = sim::GovernorKind::kSchedutil;
-  const sim::SessionResult sched = sim::run_session(factory, "fig1session", cfg);
-
   std::printf("training Next on the session workload...\n");
   const sim::TrainingResult trained = train_for_eval(factory, 1001);
   std::printf("  trained: %s after %.0f sim-s, %zu states, mean reward %.3f\n",
               trained.converged ? "converged" : "budget-limited", trained.sim_seconds,
               trained.states_visited, trained.final_mean_reward);
 
+  // Both evaluation sessions go through the parallel runner.
+  sim::RunPlan plan;
+  cfg.governor = sim::GovernorKind::kSchedutil;
+  plan.add(factory, "fig1session", cfg);
   cfg.governor = sim::GovernorKind::kNext;
   cfg.trained_table = &trained.table;
-  const sim::SessionResult next = sim::run_session(factory, "fig1session", cfg);
+  plan.add(factory, "fig1session", cfg);
+  const auto results = sim::run_plan(plan);
+  const sim::SessionResult& sched = results[0];
+  const sim::SessionResult& next = results[1];
 
   const double power_saving = 100.0 * (1.0 - next.avg_power_w / sched.avg_power_w);
   const double temp_red = 100.0 * (1.0 - next.avg_temp_big_c / sched.avg_temp_big_c);

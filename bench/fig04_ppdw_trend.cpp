@@ -50,46 +50,54 @@ int main() {
 
   std::printf("%10s %8s %10s %10s %12s %14s\n", "series", "fps", "ppdw", "power_W",
               "temp_big_C", "paper_ppdw");
-  for (std::size_t i = 0; i < 6; ++i) {
-    const double cap = fps_caps[i];
-    const auto factory = [cap](std::uint64_t seed) {
+
+  // Train one agent per cap (sequential: each builds its own table), then
+  // run every evaluation session - the governed trend and the worst-case
+  // red points - through a single runner plan.
+  const auto factory_for = [](double cap) {
+    return [cap](std::uint64_t seed) {
       return std::make_unique<workload::PhasedApp>(limited_lineage(cap), Rng{seed});
     };
-    const sim::TrainingResult trained = train_for_eval(factory, 40 + static_cast<std::uint64_t>(i), 1000.0);
-    sim::ExperimentConfig cfg;
-    cfg.governor = sim::GovernorKind::kNext;
-    cfg.trained_table = &trained.table;
-    cfg.duration = SimTime::from_seconds(300.0);
-    cfg.seed = 7;
-    const sim::SessionResult r = sim::run_session(factory, "lineage_capped", cfg);
-    const double measured_ppdw =
-        core::ppdw(r.avg_fps, Watts{r.avg_power_w}, Celsius{r.avg_temp_big_c}, Celsius{21.0});
-    std::printf("%10s %8.1f %10.4f %10.2f %12.1f %14.4f\n", "governed", r.avg_fps,
-                measured_ppdw, r.avg_power_w, r.avg_temp_big_c, paper_governed[i]);
-    csv.row_strings({"governed", std::to_string(r.avg_fps), std::to_string(measured_ppdw),
-                     std::to_string(r.avg_power_w), std::to_string(r.avg_temp_big_c)});
+  };
+  std::vector<sim::TrainingResult> trained;
+  trained.reserve(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    trained.push_back(
+        train_for_eval(factory_for(fps_caps[i]), 40 + static_cast<std::uint64_t>(i), 1000.0));
   }
 
-  // Worst-case red points: all clusters pinned at fmax, FPS limited to
-  // {1, 10} plus the loading-screen 0-FPS case. Paper: 0.0000/0.0039/0.0395.
   const double paper_worst[] = {0.0, 0.0039, 0.0395};
   const double worst_caps[] = {0.25, 1, 10};  // 0.25 FPS ~ "0" on the plot
+
+  sim::RunPlan plan;
+  for (std::size_t i = 0; i < 6; ++i) {
+    sim::ExperimentConfig cfg;
+    cfg.governor = sim::GovernorKind::kNext;
+    cfg.trained_table = &trained[i].table;
+    cfg.duration = SimTime::from_seconds(300.0);
+    cfg.seed = 7;
+    plan.add(factory_for(fps_caps[i]), "lineage_capped", cfg);
+  }
   for (std::size_t i = 0; i < 3; ++i) {
-    const double cap = worst_caps[i];
-    const auto factory = [cap](std::uint64_t seed) {
-      return std::make_unique<workload::PhasedApp>(limited_lineage(cap), Rng{seed});
-    };
     sim::ExperimentConfig cfg;
     cfg.governor = sim::GovernorKind::kPerformance;  // max power, max heat
     cfg.duration = SimTime::from_seconds(300.0);
     cfg.seed = 7;
-    const sim::SessionResult r = sim::run_session(factory, "lineage_worst", cfg);
+    plan.add(factory_for(worst_caps[i]), "lineage_worst", cfg);
+  }
+  const auto results = sim::run_plan(plan);
+
+  for (std::size_t i = 0; i < 9; ++i) {
+    const sim::SessionResult& r = results[i];
+    const bool governed = i < 6;
+    const double paper = governed ? paper_governed[i] : paper_worst[i - 6];
     const double measured_ppdw =
         core::ppdw(r.avg_fps, Watts{r.avg_power_w}, Celsius{r.avg_temp_big_c}, Celsius{21.0});
-    std::printf("%10s %8.1f %10.4f %10.2f %12.1f %14.4f\n", "worst", r.avg_fps, measured_ppdw,
-                r.avg_power_w, r.avg_temp_big_c, paper_worst[i]);
-    csv.row_strings({"worst", std::to_string(r.avg_fps), std::to_string(measured_ppdw),
-                     std::to_string(r.avg_power_w), std::to_string(r.avg_temp_big_c)});
+    std::printf("%10s %8.1f %10.4f %10.2f %12.1f %14.4f\n", governed ? "governed" : "worst",
+                r.avg_fps, measured_ppdw, r.avg_power_w, r.avg_temp_big_c, paper);
+    csv.row_strings({governed ? "governed" : "worst", std::to_string(r.avg_fps),
+                     std::to_string(measured_ppdw), std::to_string(r.avg_power_w),
+                     std::to_string(r.avg_temp_big_c)});
   }
 
   std::printf("\nexpected shape: governed PPDW rises with FPS; worst-case points sit\n"

@@ -69,8 +69,11 @@ int main() {
     const auto wall_start = std::chrono::steady_clock::now();
     for (int k = 0; k < steps; ++k) {
       engine->run(step);
-      const auto& obs = engine->observation();
-      const std::size_t pair = encoder.fps_level(obs.fps.value()) * levels[i] +
+      // Query the pipeline's FPS window directly: the cached observation
+      // only refreshes on consumer steps, and this attribution needs the
+      // instantaneous value at the 100 ms poll point.
+      const double fps_now = engine->pipeline().current_fps(engine->now()).value();
+      const std::size_t pair = encoder.fps_level(fps_now) * levels[i] +
                                encoder.fps_level(agent->current_target_fps());
       if (++pair_visits[pair] == kLearnedVisits) {
         learn_time_s[pair] = engine->now().seconds();

@@ -45,31 +45,20 @@ int main() {
     const sim::TrainingResult trained =
         train_for_eval(factory, 500 + static_cast<std::uint64_t>(ref.app));
 
-    const double sched_w = mean_over_seeds(kSeeds, 1, [&](std::uint64_t seed) {
-      sim::ExperimentConfig cfg;
-      cfg.governor = sim::GovernorKind::kSchedutil;
-      cfg.duration = duration;
-      cfg.seed = seed;
-      return sim::run_app_session(ref.app, cfg).avg_power_w;
-    });
-    const double next_w = mean_over_seeds(kSeeds, 1, [&](std::uint64_t seed) {
-      sim::ExperimentConfig cfg;
-      cfg.governor = sim::GovernorKind::kNext;
-      cfg.trained_table = &trained.table;
-      cfg.duration = duration;
-      cfg.seed = seed;
-      return sim::run_app_session(ref.app, cfg).avg_power_w;
-    });
-    double intqos_w = -1.0;
-    if (workload::is_game(ref.app)) {
-      intqos_w = mean_over_seeds(kSeeds, 1, [&](std::uint64_t seed) {
-        sim::ExperimentConfig cfg;
-        cfg.governor = sim::GovernorKind::kIntQos;
-        cfg.duration = duration;
-        cfg.seed = seed;
-        return sim::run_app_session(ref.app, cfg).avg_power_w;
-      });
-    }
+    // One plan per app: all (governor x seed) sessions fan out across the
+    // runner's worker pool; results come back in plan order.
+    sim::RunPlan plan;
+    const std::size_t slices = add_governor_sweeps(plan, ref.app, duration, kSeeds,
+                                                   &trained.table);
+    const auto results = sim::run_plan(plan);
+    const std::span<const sim::SessionResult> all{results};
+    const double sched_w =
+        mean_field(governor_slice(all, 0, kSeeds), &sim::SessionResult::avg_power_w);
+    const double next_w =
+        mean_field(governor_slice(all, 1, kSeeds), &sim::SessionResult::avg_power_w);
+    const double intqos_w =
+        slices > 2 ? mean_field(governor_slice(all, 2, kSeeds), &sim::SessionResult::avg_power_w)
+                   : -1.0;
 
     const double next_saving = 100.0 * (1.0 - next_w / sched_w);
     const double intqos_saving = intqos_w > 0.0 ? 100.0 * (1.0 - intqos_w / sched_w) : -1.0;

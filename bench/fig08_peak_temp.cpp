@@ -36,28 +36,26 @@ int main() {
     const sim::TrainingResult trained =
         train_for_eval(factory, 600 + static_cast<std::uint64_t>(app));
 
-    const auto peak_temps = [&](sim::GovernorKind kind, const rl::QTable* table) {
-      double big = 0.0;
-      double dev = 0.0;
-      for (int i = 0; i < kSeeds; ++i) {
-        sim::ExperimentConfig cfg;
-        cfg.governor = kind;
-        cfg.trained_table = table;
-        cfg.duration = duration;
-        cfg.seed = 1 + static_cast<std::uint64_t>(i);
-        const auto r = sim::run_app_session(app, cfg);
-        big += r.peak_temp_big_c;
-        dev += r.peak_temp_device_c;
-      }
-      return std::pair{big / kSeeds, dev / kSeeds};
+    // All (governor x seed) sessions for this app go through one runner
+    // plan; slices of the ordered results are averaged per governor.
+    sim::RunPlan plan;
+    const std::size_t slices = add_governor_sweeps(plan, app, duration, kSeeds,
+                                                   &trained.table);
+    const auto results = sim::run_plan(plan);
+    const std::span<const sim::SessionResult> all{results};
+    const auto peak_temps = [&](std::size_t slice) {
+      return std::pair{mean_field(governor_slice(all, slice, kSeeds),
+                                  &sim::SessionResult::peak_temp_big_c),
+                       mean_field(governor_slice(all, slice, kSeeds),
+                                  &sim::SessionResult::peak_temp_device_c)};
     };
 
-    const auto [sched_big, sched_dev] = peak_temps(sim::GovernorKind::kSchedutil, nullptr);
-    const auto [next_big, next_dev] = peak_temps(sim::GovernorKind::kNext, &trained.table);
+    const auto [sched_big, sched_dev] = peak_temps(0);
+    const auto [next_big, next_dev] = peak_temps(1);
     double iq_big = -1.0;
     double iq_dev = -1.0;
-    if (workload::is_game(app)) {
-      const auto [b, d] = peak_temps(sim::GovernorKind::kIntQos, nullptr);
+    if (slices > 2) {
+      const auto [b, d] = peak_temps(2);
       iq_big = b;
       iq_dev = d;
       max_iq_big_red = std::max(max_iq_big_red, 100.0 * (1.0 - iq_big / sched_big));

@@ -1,0 +1,146 @@
+// perf_throughput - engine throughput tracking for the repo's perf
+// trajectory.
+//
+// Measures steps/sec of the 1 ms Engine::step() loop for the stock
+// (schedutil) and Next stacks, then the parallel experiment runner's
+// scaling over serial for a small session sweep (including the bit-identity
+// check the runner guarantees), and writes everything to
+// bench_out/BENCH_throughput.json so successive PRs can be compared.
+//
+// Reference points measured in the PR that introduced this bench (single
+// dedicated core, g++ 12 -O3 + LTO): pre-optimization ~4.5M steps/s on
+// both stacks; post-optimization ~9M steps/s.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/runner.hpp"
+#include "workload/apps.hpp"
+
+namespace {
+
+using namespace nextgov;
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Steps/sec of one engine driven for `sim_seconds` of simulated time
+/// (1 ms steps) after a short warmup.
+double serial_steps_per_sec(sim::GovernorKind kind, double sim_seconds) {
+  sim::ExperimentConfig cfg;
+  cfg.governor = kind;
+  cfg.seed = 7;
+  auto engine = sim::make_engine(
+      [](std::uint64_t seed) { return workload::make_app(workload::AppId::kLineage, seed); },
+      cfg);
+  engine->run(SimTime::from_seconds(20.0));
+  const double wall =
+      wall_seconds([&] { engine->run(SimTime::from_seconds(sim_seconds)); });
+  return sim_seconds * 1000.0 / wall;
+}
+
+/// True when two results are bit-identical in every summary field and the
+/// whole recorded series (Sample is all-double, so memcmp equality is
+/// exactly bitwise equality per sample).
+bool identical(const sim::SessionResult& a, const sim::SessionResult& b) {
+  if (a.app != b.app || a.governor != b.governor || a.duration_s != b.duration_s ||
+      a.avg_power_w != b.avg_power_w || a.peak_power_w != b.peak_power_w ||
+      a.avg_temp_big_c != b.avg_temp_big_c || a.peak_temp_big_c != b.peak_temp_big_c ||
+      a.avg_temp_device_c != b.avg_temp_device_c ||
+      a.peak_temp_device_c != b.peak_temp_device_c || a.avg_fps != b.avg_fps ||
+      a.energy_j != b.energy_j || a.frames_presented != b.frames_presented ||
+      a.frames_dropped != b.frames_dropped || a.avg_ppdw != b.avg_ppdw ||
+      a.series.size() != b.series.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    if (std::memcmp(&a.series[i], &b.series[i], sizeof(sim::Sample)) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nextgov::bench;
+
+  print_header("perf", "engine steps/sec + parallel runner scaling");
+
+  // --- serial hot-loop throughput ---------------------------------------
+  const double sim_seconds = 2000.0;
+  const double sched_sps = serial_steps_per_sec(sim::GovernorKind::kSchedutil, sim_seconds);
+  const double next_sps = serial_steps_per_sec(sim::GovernorKind::kNext, sim_seconds);
+  std::printf("  serial schedutil: %8.2fM steps/s\n", sched_sps / 1e6);
+  std::printf("  serial next:      %8.2fM steps/s\n", next_sps / 1e6);
+
+  // --- parallel runner scaling ------------------------------------------
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t n_sessions = std::max<std::size_t>(8, 2 * hw);
+  sim::RunPlan plan;
+  sim::ExperimentConfig base;
+  base.duration = SimTime::from_seconds(60.0);
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    sim::ExperimentConfig cfg = base;
+    cfg.governor = (i % 2 == 0) ? sim::GovernorKind::kSchedutil : sim::GovernorKind::kNext;
+    cfg.seed = sim::derive_seed(42, i);
+    plan.add(i % 2 == 0 ? workload::AppId::kLineage : workload::AppId::kFacebook, cfg);
+  }
+
+  // At least 4 workers even on small machines so the thread pool (and the
+  // bit-identity contract under real concurrency) is always exercised;
+  // speedup is only meaningful when hw >= the pool size.
+  const unsigned pool_workers = std::max(hw, 4u);
+  std::vector<sim::SessionResult> serial_results;
+  std::vector<sim::SessionResult> parallel_results;
+  const double serial_s =
+      wall_seconds([&] { serial_results = sim::run_plan(plan, {.workers = 1}); });
+  const double parallel_s =
+      wall_seconds([&] { parallel_results = sim::run_plan(plan, {.workers = pool_workers}); });
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+  bool bit_identical = serial_results.size() == parallel_results.size();
+  for (std::size_t i = 0; bit_identical && i < serial_results.size(); ++i) {
+    bit_identical = identical(serial_results[i], parallel_results[i]);
+  }
+
+  std::printf("  runner: %zu sessions, serial %.2f s, %u workers %.2f s -> %.2fx, %s\n",
+              n_sessions, serial_s, pool_workers, parallel_s, speedup,
+              bit_identical ? "bit-identical" : "RESULTS DIVERGED");
+
+  // --- JSON trajectory file ---------------------------------------------
+  const std::string path = out_dir() + "/BENCH_throughput.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"perf_throughput\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(out, "  \"serial\": {\n");
+  std::fprintf(out, "    \"sim_seconds\": %.1f,\n", sim_seconds);
+  std::fprintf(out, "    \"schedutil_steps_per_sec\": %.0f,\n", sched_sps);
+  std::fprintf(out, "    \"next_steps_per_sec\": %.0f\n", next_sps);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"parallel\": {\n");
+  std::fprintf(out, "    \"sessions\": %zu,\n", n_sessions);
+  std::fprintf(out, "    \"workers\": %u,\n", pool_workers);
+  std::fprintf(out, "    \"serial_wall_s\": %.4f,\n", serial_s);
+  std::fprintf(out, "    \"parallel_wall_s\": %.4f,\n", parallel_s);
+  std::fprintf(out, "    \"speedup\": %.3f,\n", speedup);
+  std::fprintf(out, "    \"bit_identical\": %s\n", bit_identical ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("  -> %s\n\n", path.c_str());
+  return bit_identical ? 0 : 1;
+}

@@ -12,7 +12,7 @@
 #include "governors/governor.hpp"
 #include "governors/schedutil.hpp"
 #include "sim/engine.hpp"
-#include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "workload/apps.hpp"
 
 namespace {
@@ -64,21 +64,28 @@ int main() {
   const auto app = workload::AppId::kLineage;
   const auto duration = workload::paper_session_length(app);
 
-  sim::ExperimentConfig cfg;
-  cfg.duration = duration;
-  cfg.seed = 4;
-  cfg.governor = sim::GovernorKind::kSchedutil;
-  const sim::SessionResult stock = sim::run_app_session(app, cfg);
-
   const sim::SessionResult custom = run_with_custom_meta(app, duration, 4);
 
   sim::TrainingOptions train;
   train.max_duration = SimTime::from_seconds(1500.0);
   train.seed = 1004;
   const sim::TrainingResult trained = sim::train_next(app, core::NextConfig{}, train);
+
+  // The catalog-governor sessions go through the batch runner; the custom
+  // meta-governor above assembles its engine by hand (it has no
+  // GovernorKind), which stays possible alongside the runner.
+  sim::ExperimentConfig cfg;
+  cfg.duration = duration;
+  cfg.seed = 4;
+  sim::RunPlan plan;
+  cfg.governor = sim::GovernorKind::kSchedutil;
+  plan.add(app, cfg);
   cfg.governor = sim::GovernorKind::kNext;
   cfg.trained_table = &trained.table;
-  const sim::SessionResult next = sim::run_app_session(app, cfg);
+  plan.add(app, cfg);
+  const auto results = sim::run_plan(plan);
+  const sim::SessionResult& stock = results[0];
+  const sim::SessionResult& next = results[1];
 
   std::printf("%-16s %12s %16s %10s\n", "governor", "avg_power_W", "peak_big_temp_C",
               "avg_FPS");

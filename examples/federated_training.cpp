@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "rl/federated.hpp"
-#include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "workload/apps.hpp"
 
 int main() {
@@ -45,24 +45,29 @@ int main() {
               merged.state_count(), timing.comm_overhead_s);
 
   // A fresh device receives the merged table and runs with zero training.
+  // All three evaluation sessions fan out through the parallel runner.
   sim::ExperimentConfig cfg;
   cfg.duration = workload::paper_session_length(app);
   cfg.seed = 999;  // a user none of the training devices saw
-
-  cfg.governor = sim::GovernorKind::kSchedutil;
-  const sim::SessionResult stock = sim::run_app_session(app, cfg);
-
-  cfg.governor = sim::GovernorKind::kNext;
-  cfg.trained_table = &merged;
-  const sim::SessionResult fed = sim::run_app_session(app, cfg);
 
   // Compare against the best single device's table on the same session.
   std::size_t best = 0;
   for (std::size_t d = 1; d < devices.size(); ++d) {
     if (devices[d].final_mean_reward > devices[best].final_mean_reward) best = d;
   }
+
+  sim::RunPlan plan;
+  cfg.governor = sim::GovernorKind::kSchedutil;
+  plan.add(app, cfg);
+  cfg.governor = sim::GovernorKind::kNext;
+  cfg.trained_table = &merged;
+  plan.add(app, cfg);
   cfg.trained_table = &devices[best].table;
-  const sim::SessionResult solo = sim::run_app_session(app, cfg);
+  plan.add(app, cfg);
+  const auto results = sim::run_plan(plan);
+  const sim::SessionResult& stock = results[0];
+  const sim::SessionResult& fed = results[1];
+  const sim::SessionResult& solo = results[2];
 
   std::printf("\n%-26s %12s %16s %10s\n", "configuration", "avg_power_W", "peak_big_temp_C",
               "avg_FPS");

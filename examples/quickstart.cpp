@@ -6,7 +6,7 @@
 // miniature.
 #include <cstdio>
 
-#include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "workload/apps.hpp"
 
 int main() {
@@ -18,12 +18,16 @@ int main() {
   //    reproducible: the same seed replays the same user behaviour.
   const auto app = workload::AppId::kFacebook;
 
-  // 2. Baseline: stock schedutil for one paper-length session.
+  // 2. Baseline: stock schedutil for one paper-length session. Sessions
+  //    run through the batch runner - a one-entry plan here, a whole
+  //    (app x governor x seed) sweep in the figure benches.
   sim::ExperimentConfig config;
   config.governor = sim::GovernorKind::kSchedutil;
   config.duration = workload::paper_session_length(app);
   config.seed = 42;
-  const sim::SessionResult stock = sim::run_app_session(app, config);
+  sim::RunPlan baseline_plan;
+  baseline_plan.add(app, config);
+  const sim::SessionResult stock = std::move(sim::run_plan(baseline_plan).front());
   std::printf("[schedutil] avg power %.2f W | peak big temp %.1f C | avg FPS %.1f\n",
               stock.avg_power_w, stock.peak_temp_big_c, stock.avg_fps);
 
@@ -42,7 +46,9 @@ int main() {
   // 4. Deploy the learned Q-table greedily ("fully trained", Section V).
   config.governor = sim::GovernorKind::kNext;
   config.trained_table = &trained.table;
-  const sim::SessionResult next = sim::run_app_session(app, config);
+  sim::RunPlan deploy_plan;
+  deploy_plan.add(app, config);
+  const sim::SessionResult next = std::move(sim::run_plan(deploy_plan).front());
   std::printf("\n[Next]      avg power %.2f W | peak big temp %.1f C | avg FPS %.1f\n",
               next.avg_power_w, next.peak_temp_big_c, next.avg_fps);
 

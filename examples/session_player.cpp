@@ -17,7 +17,7 @@
 #include <map>
 #include <string>
 
-#include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "workload/session.hpp"
 
 namespace {
@@ -87,11 +87,14 @@ int main(int argc, char** argv) {
     config.trained_table = &training.table;
   }
 
-  const sim::SessionResult r =
-      is_session ? sim::run_session(
-                       [](std::uint64_t s) { return workload::make_fig1_session(s); },
-                       "fig1session", config)
-                 : sim::run_app_session(apps.at(app_name), config);
+  sim::RunPlan plan;
+  if (is_session) {
+    plan.add([](std::uint64_t s) { return workload::make_fig1_session(s); }, "fig1session",
+             config);
+  } else {
+    plan.add(apps.at(app_name), config);
+  }
+  const sim::SessionResult r = std::move(sim::run_plan(plan).front());
 
   std::printf("app=%s governor=%s duration=%.0fs seed=%llu\n", r.app.c_str(),
               r.governor.c_str(), r.duration_s, static_cast<unsigned long long>(seed));

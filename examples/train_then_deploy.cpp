@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <string>
 
-#include "sim/experiment.hpp"
+#include "sim/runner.hpp"
 #include "workload/apps.hpp"
 
 int main(int argc, char** argv) {
@@ -37,21 +37,25 @@ int main(int argc, char** argv) {
   std::printf("  reloaded %zu states, %llu visits\n", reloaded.state_count(),
               static_cast<unsigned long long>(reloaded.total_visits()));
 
+  // The three comparison sessions run as one parallel runner plan.
   sim::ExperimentConfig cfg;
   cfg.duration = duration;
   cfg.seed = 99;  // a different user session than training
 
+  sim::RunPlan plan;
   cfg.governor = sim::GovernorKind::kSchedutil;
-  const sim::SessionResult stock = sim::run_app_session(app, cfg);
-
+  plan.add(app, cfg);
   cfg.governor = sim::GovernorKind::kNext;
   cfg.trained_table = &reloaded;
-  const sim::SessionResult warm = sim::run_app_session(app, cfg);
-
+  plan.add(app, cfg);
   // Cold agent for contrast: greedy on an empty table = do-nothing caps.
   cfg.trained_table = nullptr;
   cfg.next_mode = core::AgentMode::kDeployed;
-  const sim::SessionResult cold = sim::run_app_session(app, cfg);
+  plan.add(app, cfg);
+  const auto results = sim::run_plan(plan);
+  const sim::SessionResult& stock = results[0];
+  const sim::SessionResult& warm = results[1];
+  const sim::SessionResult& cold = results[2];
 
   std::printf("\n%-22s %12s %16s %10s\n", "configuration", "avg_power_W", "peak_big_temp_C",
               "avg_FPS");

@@ -5,6 +5,11 @@
 
 namespace nextgov {
 
+void require_fail(const char* what, std::source_location loc) {
+  throw ConfigError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " +
+                    what);
+}
+
 void assert_fail(const char* expr, const char* file, int line) {
   std::fprintf(stderr, "nextgov invariant violated: %s at %s:%d\n", expr, file, line);
   std::abort();

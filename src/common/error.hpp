@@ -24,14 +24,21 @@ class IoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+[[noreturn]] void require_fail(const char* what, std::source_location loc);
+
 /// Throws ConfigError with a formatted location prefix when `cond` is false.
-/// Used to validate constructor arguments; never on the per-tick path.
+/// Takes `const char*` so the success path costs one branch: the previous
+/// `const std::string&` signature materialized (and heap-allocated) the
+/// message at every call site, which dominated the 1 ms engine step once the
+/// thermal/power accessors validated ids a dozen times per tick.
+inline void require(bool cond, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!cond) [[unlikely]] require_fail(what, loc);
+}
+
 inline void require(bool cond, const std::string& what,
                     std::source_location loc = std::source_location::current()) {
-  if (!cond) {
-    throw ConfigError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " +
-                      what);
-  }
+  if (!cond) [[unlikely]] require_fail(what.c_str(), loc);
 }
 
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line);

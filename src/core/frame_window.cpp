@@ -30,6 +30,7 @@ void FrameWindow::add_sample(Fps fps) {
   }
   samples_.push(value);
   ++counts_[static_cast<std::size_t>(value)];
+  if (value > max_value_seen_) max_value_seen_ = value;
   if (!mode_dirty_) {
     const auto c_new = counts_[static_cast<std::size_t>(value)];
     const auto c_mode = counts_[static_cast<std::size_t>(mode_)];
@@ -43,7 +44,9 @@ int FrameWindow::target_fps() const {
   if (mode_dirty_) {
     int best = 0;
     int best_count = 0;
-    for (int v = 0; v <= kMaxFps; ++v) {
+    // Buckets above the largest value ever buffered are zero by
+    // construction; at 60 Hz this scans ~60 buckets instead of 240.
+    for (int v = 0; v <= max_value_seen_; ++v) {
       const int c = counts_[static_cast<std::size_t>(v)];
       if (c >= best_count && c > 0) {
         best = v;
@@ -61,6 +64,7 @@ void FrameWindow::clear() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
   mode_ = 0;
   mode_dirty_ = false;
+  max_value_seen_ = 0;
 }
 
 }  // namespace nextgov::core

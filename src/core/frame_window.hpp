@@ -51,6 +51,7 @@ class FrameWindow {
   std::vector<int> counts_;      ///< histogram over [0, kMaxFps]
   mutable int mode_{0};          ///< cached mode (largest value on ties)
   mutable bool mode_dirty_{false};
+  int max_value_seen_{0};        ///< upper bound for the dirty-mode rescan
 };
 
 }  // namespace nextgov::core

@@ -38,7 +38,9 @@ class MetaGovernor {
   /// How often control() runs (Next: 100 ms per Section IV-B).
   [[nodiscard]] virtual SimTime period() const = 0;
   /// Optional high-rate observation tap (Next samples FPS every 25 ms);
-  /// return SimTime::zero() when unused.
+  /// return SimTime::zero() when unused. Must return the same value for
+  /// the governor's lifetime: the engine caches it at construction to keep
+  /// virtual dispatch out of the 1 ms step.
   [[nodiscard]] virtual SimTime sample_period() const { return SimTime::zero(); }
   virtual void on_sample(const Observation& /*obs*/) {}
   /// Adjusts cluster caps.

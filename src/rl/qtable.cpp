@@ -1,5 +1,6 @@
 #include "rl/qtable.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "common/error.hpp"
@@ -21,9 +22,17 @@ void read_pod(std::ifstream& in, T& v) {
 }
 }  // namespace
 
+namespace {
+/// A session typically visits a few thousand quantized states (Fig. 6
+/// reports state counts in this range); start the bucket array there so
+/// online training never rehashes.
+constexpr std::size_t kInitialStateCapacity = 4096;
+}  // namespace
+
 QTable::QTable(std::size_t action_count, double default_q)
     : actions_{action_count}, default_q_{default_q} {
   require(action_count > 0, "QTable needs at least one action");
+  table_.reserve(kInitialStateCapacity);
 }
 
 QTable::Entry& QTable::entry(StateKey s) {
@@ -134,6 +143,10 @@ QTable QTable::load(const std::string& path) {
   if (!in || actions == 0) throw IoError("corrupt Q-table header: " + path);
   QTable t{static_cast<std::size_t>(actions)};
   t.total_visits_ = total_visits;
+  // Cap the pre-size: `states` is untrusted header data, and a corrupt
+  // count must surface as the truncated-file IoError below, not as a
+  // giant allocation here.
+  t.table_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(states, 1u << 20)));
   for (std::uint64_t i = 0; i < states; ++i) {
     StateKey key = 0;
     std::uint64_t visits = 0;

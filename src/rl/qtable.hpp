@@ -20,6 +20,22 @@ namespace nextgov::rl {
 
 using StateKey = std::uint64_t;
 
+/// Hash for packed state keys. libstdc++'s std::hash<uint64_t> is the
+/// identity, which clusters the packed bit-fields into few buckets; one
+/// round of SplitMix64/MurmurHash3 finalization mixes every input bit into
+/// every output bit at ~3 ns. Training hits the table twice per decision,
+/// so this (plus an up-front reserve) is the QTable fast path.
+struct StateKeyHash {
+  [[nodiscard]] std::size_t operator()(StateKey k) const noexcept {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+};
+
 class QTable {
  public:
   /// `default_q` is the value new entries start from. A value above the
@@ -73,16 +89,15 @@ class QTable {
     std::uint64_t visits{0};
     std::uint32_t tried{0};  ///< bitmask: action a was updated at least once
   };
-  [[nodiscard]] const std::unordered_map<StateKey, Entry>& entries() const noexcept {
-    return table_;
-  }
+  using Map = std::unordered_map<StateKey, Entry, StateKeyHash>;
+  [[nodiscard]] const Map& entries() const noexcept { return table_; }
 
  private:
   Entry& entry(StateKey s);
 
   std::size_t actions_;
   double default_q_{0.0};
-  std::unordered_map<StateKey, Entry> table_;
+  Map table_;
   std::uint64_t total_visits_{0};
 };
 

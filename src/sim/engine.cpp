@@ -29,7 +29,10 @@ Engine::Engine(soc::Soc soc, std::unique_ptr<workload::App> app,
   obs_.clusters.resize(soc_.cluster_count());
   soc_.reset();
   for (const auto& c : soc_.clusters()) throttle_ceiling_.push_back(c.opps().size() - 1);
-  rebuild_observation();
+  next_agent_ = dynamic_cast<const core::NextAgent*>(meta_gov_.get());
+  if (meta_gov_ != nullptr) meta_sample_period_ = meta_gov_->sample_period();
+  cluster_node_ = {thermal_.nodes.big, thermal_.nodes.little, thermal_.nodes.gpu};
+  rebuild_observation(/*force=*/true);
 }
 
 void Engine::apply_thermal_throttle() {
@@ -47,6 +50,9 @@ void Engine::apply_thermal_throttle() {
       }
     }
   }
+  // Clamp every step: governors are the usual movers, but the public soc()
+  // accessor lets external drivers change operating points between steps
+  // too, and the scan is three compares.
   for (std::size_t i = 0; i < soc_.cluster_count(); ++i) {
     auto& c = soc_.cluster(i);
     if (c.freq_index() > throttle_ceiling_[i]) c.set_freq_index(throttle_ceiling_[i]);
@@ -60,7 +66,7 @@ void Engine::update_loads(const render::PipelineStepResult& pr) {
   // Background demand is specified at the highest OPP; at lower clocks the
   // same work occupies proportionally more time (PELT-style scaling).
   const auto scaled = [](double demand, const soc::Cluster& c) {
-    return std::min(1.0, demand * (c.opps().highest().frequency / c.frequency()));
+    return std::min(1.0, demand * c.inv_relative_speed());
   };
 
   const auto& big = soc_.big();
@@ -88,21 +94,33 @@ void Engine::update_loads(const render::PipelineStepResult& pr) {
   loads_[soc::ClusterIndex::kGpu].busy_avg = gpu_busy;
 }
 
-void Engine::rebuild_observation() {
-  obs_.now = now_;
-  for (std::size_t i = 0; i < soc_.cluster_count(); ++i) {
-    const auto& c = soc_.cluster(i);
-    auto& o = obs_.clusters[i];
-    o.freq_index = c.freq_index();
-    o.cap_index = c.max_cap_index();
-    o.opp_count = c.opps().size();
-    o.frequency = c.frequency();
-    o.max_frequency = c.opps().highest().frequency;
-    o.busy_hot = loads_[i].busy_hot;
-    o.busy_avg = loads_[i].busy_avg;
+bool Engine::observation_consumer_due() const noexcept {
+  if (now_ >= next_freq_gov_ || now_ >= next_record_) return true;
+  if (config_.thermal_throttle && now_ >= next_throttle_) return true;
+  if (meta_gov_ != nullptr) {
+    if (now_ >= next_meta_) return true;
+    if (meta_sample_period_.us() > 0 && now_ >= next_meta_sample_) return true;
   }
-  obs_.fps = pipeline_.current_fps(now_);
-  obs_.drop_rate = pipeline_.current_drop_rate(now_);
+  return false;
+}
+
+void Engine::rebuild_observation(bool force) {
+  obs_.now = now_;
+  if (force || observation_consumer_due()) {
+    for (std::size_t i = 0; i < soc_.cluster_count(); ++i) {
+      const auto& c = soc_.cluster(i);
+      auto& o = obs_.clusters[i];
+      o.freq_index = c.freq_index();
+      o.cap_index = c.max_cap_index();
+      o.opp_count = c.opps().size();
+      o.frequency = c.frequency();
+      o.max_frequency = c.opps().highest().frequency;
+      o.busy_hot = loads_[i].busy_hot;
+      o.busy_avg = loads_[i].busy_avg;
+    }
+    obs_.fps = pipeline_.current_fps(now_);
+    obs_.drop_rate = pipeline_.current_drop_rate(now_);
+  }
 
   const auto& nodes = thermal_.nodes;
   const auto& net = thermal_.network;
@@ -123,10 +141,9 @@ void Engine::rebuild_observation() {
 
 void Engine::run_governors() {
   if (meta_gov_ != nullptr) {
-    const SimTime sample_period = meta_gov_->sample_period();
-    if (sample_period.us() > 0 && now_ >= next_meta_sample_) {
+    if (meta_sample_period_.us() > 0 && now_ >= next_meta_sample_) {
       meta_gov_->on_sample(obs_);
-      next_meta_sample_ = now_ + sample_period;
+      next_meta_sample_ = now_ + meta_sample_period_;
     }
   }
   if (now_ >= next_freq_gov_) {
@@ -146,9 +163,7 @@ void Engine::record_if_due() {
   Sample s;
   s.time_s = now_.seconds();
   s.fps = obs_.fps.value();
-  if (auto* next = dynamic_cast<core::NextAgent*>(meta_gov_.get())) {
-    s.target_fps = next->current_target_fps();
-  }
+  if (next_agent_ != nullptr) s.target_fps = next_agent_->current_target_fps();
   s.f_big_mhz = soc_.big().frequency().mhz();
   s.f_little_mhz = soc_.little().frequency().mhz();
   s.f_gpu_mhz = soc_.gpu().frequency().mhz();
@@ -177,24 +192,20 @@ void Engine::step() {
 
   // 3. utilization -> power.
   update_loads(pr);
+  auto& net = thermal_.network;
   Watts soc_power{0.0};
-  std::array<Watts, 3> cluster_power{};
-  const auto& nodes = thermal_.nodes;
-  const std::array<thermal::NodeId, 3> node_of{nodes.big, nodes.little, nodes.gpu};
   for (std::size_t i = 0; i < soc_.cluster_count(); ++i) {
-    const Celsius junction = thermal_.network.temperature(node_of[i]);
-    cluster_power[i] = soc::cluster_power(soc_.cluster(i), loads_[i], junction);
-    soc_power += cluster_power[i];
+    const Celsius junction = net.temperature(cluster_node_[i]);
+    const Watts p = soc::cluster_power(soc_.cluster(i), loads_[i], junction);
+    net.set_power(cluster_node_[i], p);
+    soc_power += p;
   }
-  device_power_ = soc_power + soc_.device_power().display + soc_.device_power().rest_of_device;
+  const auto& device = soc_.device_power();
+  device_power_ = soc_power + device.display + device.rest_of_device;
 
   // 4. heat flows.
-  auto& net = thermal_.network;
-  net.set_power(nodes.big, cluster_power[soc::ClusterIndex::kBig]);
-  net.set_power(nodes.little, cluster_power[soc::ClusterIndex::kLittle]);
-  net.set_power(nodes.gpu, cluster_power[soc::ClusterIndex::kGpu]);
-  net.set_power(nodes.skin, soc_.device_power().display);
-  net.set_power(nodes.soc_board, soc_.device_power().rest_of_device);
+  net.set_power(thermal_.nodes.skin, device.display);
+  net.set_power(thermal_.nodes.soc_board, device.rest_of_device);
   net.step(config_.step);
 
   now_ += config_.step;
@@ -234,7 +245,7 @@ void Engine::reset_session(std::unique_ptr<workload::App> new_app) {
   for (std::size_t i = 0; i < soc_.cluster_count(); ++i) {
     throttle_ceiling_[i] = soc_.cluster(i).opps().size() - 1;
   }
-  rebuild_observation();
+  rebuild_observation(/*force=*/true);
 }
 
 }  // namespace nextgov::sim

@@ -12,6 +12,7 @@
 // deployment: an application-layer agent above the stock schedutil.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 
@@ -23,6 +24,10 @@
 #include "soc/soc.hpp"
 #include "thermal/note9_model.hpp"
 #include "workload/app.hpp"
+
+namespace nextgov::core {
+class NextAgent;
+}
 
 namespace nextgov::sim {
 
@@ -81,6 +86,13 @@ class Engine {
   [[nodiscard]] const Recorder& recorder() const noexcept { return recorder_; }
   [[nodiscard]] Recorder& recorder() noexcept { return recorder_; }
   [[nodiscard]] const EngineTotals& totals() const noexcept { return totals_; }
+  /// The observation as the governor stack last saw it. The sensor block
+  /// (temperatures, power) is refreshed every step; the FPS window queries
+  /// and per-cluster DVFS snapshot are only refreshed on steps where a
+  /// consumer (governor, meta sample, throttle evaluation, recorder) fires,
+  /// so between those ticks they can lag by up to one governor period.
+  /// External drivers that need the exact instantaneous FPS stream should
+  /// query pipeline().current_fps(now()) directly.
   [[nodiscard]] const governors::Observation& observation() const noexcept { return obs_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
@@ -92,7 +104,16 @@ class Engine {
   void reset_session(std::unique_ptr<workload::App> new_app);
 
  private:
-  void rebuild_observation();
+  /// `force` refreshes every block regardless of consumer deadlines (used
+  /// at construction and session reset so observation() never shows a
+  /// previous session's values).
+  void rebuild_observation(bool force = false);
+  /// True when any observation consumer (governor, meta sample, throttle
+  /// evaluation, recorder) fires at the current time. The expensive parts
+  /// of the observation (FPS window queries, per-cluster DVFS snapshot) are
+  /// only refreshed on those steps; the thermal/power sensor block is
+  /// rebuilt every step because the running totals consume it.
+  [[nodiscard]] bool observation_consumer_due() const noexcept;
   void update_loads(const render::PipelineStepResult& pr);
   void run_governors();
   void apply_thermal_throttle();
@@ -105,6 +126,11 @@ class Engine {
   std::unique_ptr<workload::App> app_;
   std::unique_ptr<governors::FreqGovernor> freq_gov_;
   std::unique_ptr<governors::MetaGovernor> meta_gov_;
+  /// meta_gov_ downcast once at construction; record_if_due() used to
+  /// dynamic_cast on every sample.
+  const core::NextAgent* next_agent_{nullptr};
+  /// Thermal node feeding each cluster's junction sensor, in cluster order.
+  std::array<thermal::NodeId, 3> cluster_node_{};
 
   SimTime now_{SimTime::zero()};
   SimTime next_freq_gov_{SimTime::zero()};
@@ -112,6 +138,9 @@ class Engine {
   SimTime next_meta_sample_{SimTime::zero()};
   SimTime next_record_{SimTime::zero()};
   SimTime next_throttle_{SimTime::zero()};
+  /// Governor cadences are constants; cached to keep virtual period()
+  /// lookups out of the 1 ms step.
+  SimTime meta_sample_period_{SimTime::zero()};
   std::vector<std::size_t> throttle_ceiling_;
 
   std::vector<soc::ClusterLoad> loads_;

@@ -1,0 +1,93 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace nextgov::sim {
+
+void RunPlan::add(workload::AppId app, const ExperimentConfig& config) {
+  add([app](std::uint64_t seed) { return workload::make_app(app, seed); },
+      std::string{workload::to_string(app)}, config);
+}
+
+void RunPlan::add(AppFactory factory, std::string name, const ExperimentConfig& config) {
+  require(static_cast<bool>(factory), "RunPlan::add needs an app factory");
+  sessions_.push_back(SessionSpec{std::move(name), std::move(factory), config});
+}
+
+void RunPlan::add_grid(std::span<const workload::AppId> apps,
+                       std::span<const GovernorKind> governors,
+                       std::span<const std::uint64_t> seeds, const ExperimentConfig& base) {
+  for (const workload::AppId app : apps) {
+    for (const GovernorKind governor : governors) {
+      for (const std::uint64_t seed : seeds) {
+        ExperimentConfig config = base;
+        config.governor = governor;
+        config.seed = seed;
+        add(app, config);
+      }
+    }
+  }
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // SplitMix64 finalizer over the combined (base, index) state: adjacent
+  // indices land in unrelated streams.
+  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<SessionResult> run_plan(const RunPlan& plan, const RunnerOptions& options) {
+  const std::size_t n = plan.size();
+  std::vector<SessionResult> results(n);
+  if (n == 0) return results;
+
+  std::size_t workers = options.workers;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 0 ? hw : 1;
+  }
+  workers = std::min(workers, n);
+
+  std::vector<std::exception_ptr> errors(n);
+  const auto execute = [&](std::size_t i) {
+    const SessionSpec& spec = plan.sessions()[i];
+    try {
+      results[i] = run_session(spec.app_factory, spec.name, spec.config);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) execute(i);
+  } else {
+    // Dynamic work stealing off a shared counter: sessions vary wildly in
+    // length (games run 300 s, Spotify 105 s), so static striping would
+    // leave workers idle behind the longest stripe.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          execute(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  return results;
+}
+
+}  // namespace nextgov::sim

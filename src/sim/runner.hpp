@@ -1,0 +1,79 @@
+// runner.hpp - the batch/parallel experiment runner.
+//
+// Every figure, ablation and example in this repo is a sweep of independent
+// (app x governor x seed x config) sessions through the 1 ms engine loop.
+// The runner makes that sweep declarative: callers describe a RunPlan, and
+// run_plan() executes it across a worker pool, returning SessionResults in
+// plan order.
+//
+// Determinism contract: a session's entire trajectory is a function of its
+// SessionSpec (the engine holds no global state, and every stochastic
+// element draws from the spec's seed), so parallel execution is
+// *bit-identical* to serial execution regardless of worker count or
+// scheduling. This is asserted by tests/sim/runner_test.cpp. The contract
+// requires app factories to be pure: make_app-style factories that derive
+// everything from the seed argument qualify; factories that mutate shared
+// captured state do not.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "workload/apps.hpp"
+
+namespace nextgov::sim {
+
+/// One independent session of a run plan.
+struct SessionSpec {
+  std::string name;        ///< label copied into SessionResult::app
+  AppFactory app_factory;  ///< must be pure (see determinism contract above)
+  ExperimentConfig config;
+};
+
+/// Declarative batch of sessions. Build with add()/add_grid(), execute with
+/// run_plan().
+class RunPlan {
+ public:
+  /// Adds one session for a catalog app.
+  void add(workload::AppId app, const ExperimentConfig& config);
+  /// Adds one session for an arbitrary app factory.
+  void add(AppFactory factory, std::string name, const ExperimentConfig& config);
+
+  /// Cross product: one session per (app, governor, seed), each starting
+  /// from `base` with the governor and seed substituted. Suits homogeneous
+  /// sweeps; sweeps needing per-cell config (e.g. a trained table per
+  /// governor, as in the Fig. 7/8 benches) build their plans with add().
+  void add_grid(std::span<const workload::AppId> apps,
+                std::span<const GovernorKind> governors,
+                std::span<const std::uint64_t> seeds, const ExperimentConfig& base);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sessions_.empty(); }
+  [[nodiscard]] const std::vector<SessionSpec>& sessions() const noexcept { return sessions_; }
+
+ private:
+  std::vector<SessionSpec> sessions_;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 = one per hardware thread. 1 = serial in the
+  /// calling thread (no pool).
+  std::size_t workers{0};
+};
+
+/// Executes every session of `plan` and returns results in plan order.
+/// Sessions are distributed across workers dynamically (longest sessions
+/// don't serialize the tail). Rethrows the first failure in plan order
+/// after all workers have drained.
+[[nodiscard]] std::vector<SessionResult> run_plan(const RunPlan& plan,
+                                                  const RunnerOptions& options = {});
+
+/// Stateless SplitMix64-style seed derivation for grid sweeps: gives every
+/// (base, index) pair an independent, reproducible stream. Used by
+/// add_grid() callers that want per-cell seeds from one base seed.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
+
+}  // namespace nextgov::sim

@@ -26,6 +26,15 @@ Cluster::Cluster(ClusterKind kind, std::string name, std::size_t core_count, Opp
   require(cores_ > 0, "cluster must have at least one core");
   require(power_.c_eff_total_farads > 0.0, "effective capacitance must be positive");
   require(power_.leak_coeff_w_per_v >= 0.0, "leakage coefficient must be non-negative");
+  dyn_coeff_w_.reserve(opps_.size());
+  leak_coeff_w_.reserve(opps_.size());
+  inv_rel_speed_.reserve(opps_.size());
+  for (const auto& opp : opps_.points()) {
+    const double v = opp.voltage.value();
+    dyn_coeff_w_.push_back(power_.c_eff_total_farads * v * v * opp.frequency.hz());
+    leak_coeff_w_.push_back(power_.leak_coeff_w_per_v * v);
+    inv_rel_speed_.push_back(opps_.highest().frequency / opp.frequency);
+  }
 }
 
 void Cluster::set_freq_index(std::size_t i) noexcept {

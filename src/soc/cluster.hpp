@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/units.hpp"
 #include "soc/opp.hpp"
@@ -73,6 +74,17 @@ class Cluster {
     return frequency() / opps_.highest().frequency;
   }
 
+  /// --- precomputed power coefficients ---------------------------------
+  /// The power model evaluates every 1 ms step for every cluster, so the
+  /// OPP-dependent parts are tabled at construction:
+  ///   dyn_power_coeff_w  = C_eff * V^2 * f   (P_dyn = coeff * util)
+  ///   leak_power_coeff_w = k_leak * V        (P_leak = coeff * exp(...))
+  [[nodiscard]] double dyn_power_coeff_w() const noexcept { return dyn_coeff_w_[index_]; }
+  [[nodiscard]] double leak_power_coeff_w() const noexcept { return leak_coeff_w_[index_]; }
+  /// f_max / f at the current OPP (>= 1): the PELT-style demand scale
+  /// factor, tabled so load accounting avoids a divide per cluster per step.
+  [[nodiscard]] double inv_relative_speed() const noexcept { return inv_rel_speed_[index_]; }
+
  private:
   ClusterKind kind_;
   std::string name_;
@@ -82,6 +94,9 @@ class Cluster {
   std::size_t index_{0};
   std::size_t min_cap_{0};
   std::size_t max_cap_;
+  std::vector<double> dyn_coeff_w_;   // per OPP: C_eff * V^2 * f [W at util=1]
+  std::vector<double> leak_coeff_w_;  // per OPP: k_leak * V [W at 25 C]
+  std::vector<double> inv_rel_speed_;  // per OPP: f_max / f
 };
 
 }  // namespace nextgov::soc

@@ -15,7 +15,7 @@ NodeId RcNetwork::add_node(std::string name, double capacity_j_per_k,
   require(g_ambient_w_per_k >= 0.0, "ambient conductance must be non-negative");
   nodes_.push_back(Node{std::move(name), capacity_j_per_k, g_ambient_w_per_k, ambient_.value(),
                         0.0});
-  flux_.resize(nodes_.size());
+  topo_built_ = false;
   return nodes_.size() - 1;
 }
 
@@ -24,6 +24,7 @@ void RcNetwork::connect(NodeId a, NodeId b, double g_w_per_k) {
   require(a != b, "connect: cannot connect a node to itself");
   require(g_w_per_k > 0.0, "thermal conductance must be positive");
   edges_.push_back(Edge{a, b, g_w_per_k});
+  topo_built_ = false;
 }
 
 const std::string& RcNetwork::node_name(NodeId id) const {
@@ -46,45 +47,100 @@ Watts RcNetwork::power(NodeId id) const {
   return Watts{nodes_[id].power_w};
 }
 
-double RcNetwork::max_stable_dt_seconds() const noexcept {
-  // Explicit Euler is stable when dt < C_i / (sum of conductances at i) for
-  // every node; use half of the bound as safety margin.
-  double worst = 1e9;
-  std::vector<double> g_total(nodes_.size(), 0.0);
-  for (std::size_t i = 0; i < nodes_.size(); ++i) g_total[i] = nodes_[i].g_ambient;
+void RcNetwork::ensure_topology() const {
+  if (topo_built_) return;
+  const std::size_t n = nodes_.size();
+
+  // Per-node degree -> CSR row pointers (undirected: each edge twice).
+  row_ptr_.assign(n + 1, 0);
+  for (const auto& e : edges_) {
+    ++row_ptr_[e.a + 1];
+    ++row_ptr_[e.b + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  nbr_node_.resize(edges_.size() * 2);
+  nbr_g_.resize(edges_.size() * 2);
+  std::vector<std::uint32_t> cursor(row_ptr_.begin(), row_ptr_.end() - 1);
+  for (const auto& e : edges_) {
+    nbr_node_[cursor[e.a]] = static_cast<std::uint32_t>(e.b);
+    nbr_g_[cursor[e.a]++] = e.g;
+    nbr_node_[cursor[e.b]] = static_cast<std::uint32_t>(e.a);
+    nbr_g_[cursor[e.b]++] = e.g;
+  }
+
+  // Per-node conductance sums feed the explicit-Euler stability bound.
+  std::vector<double> g_total(n, 0.0);
+  inv_cap_.resize(n);
+  total_g_ambient_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    g_total[i] = nodes_[i].g_ambient;
+    inv_cap_[i] = 1.0 / nodes_[i].capacity;
+    total_g_ambient_ += nodes_[i].g_ambient;
+  }
   for (const auto& e : edges_) {
     g_total[e.a] += e.g;
     g_total[e.b] += e.g;
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+
+  // Stability: dt < C_i / (sum of conductances at i) per node; half of the
+  // bound as safety margin.
+  double worst = 1e9;
+  for (std::size_t i = 0; i < n; ++i) {
     if (g_total[i] > 0.0) worst = std::min(worst, nodes_[i].capacity / g_total[i]);
   }
-  return 0.5 * worst;
+  max_stable_dt_s_ = 0.5 * worst;
+
+  // Pristine dense system for steady_state(): A has the conductance
+  // Laplacian plus the ambient diagonal. Built once per topology; solves
+  // copy it into scratch before eliminating.
+  dense_a_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) dense_a_[i * n + i] = nodes_[i].g_ambient;
+  for (const auto& e : edges_) {
+    dense_a_[e.a * n + e.a] += e.g;
+    dense_a_[e.b * n + e.b] += e.g;
+    dense_a_[e.a * n + e.b] -= e.g;
+    dense_a_[e.b * n + e.a] -= e.g;
+  }
+
+  flux_.assign(n, 0.0);
+  cached_dt_us_ = -1;  // sub-step count depends on the stability bound
+  topo_built_ = true;
+}
+
+double RcNetwork::max_stable_dt_seconds() const noexcept {
+  ensure_topology();
+  return max_stable_dt_s_;
 }
 
 void RcNetwork::euler_substep(double dt_s) noexcept {
-  std::fill(flux_.begin(), flux_.end(), 0.0);
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    flux_[i] = nodes_[i].power_w + nodes_[i].g_ambient * (ambient_.value() - nodes_[i].temp_c);
+  const std::size_t n = nodes_.size();
+  const double amb = ambient_.value();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& nd = nodes_[i];
+    double f = nd.power_w + nd.g_ambient * (amb - nd.temp_c);
+    const std::uint32_t end = row_ptr_[i + 1];
+    for (std::uint32_t k = row_ptr_[i]; k < end; ++k) {
+      f += nbr_g_[k] * (nodes_[nbr_node_[k]].temp_c - nd.temp_c);
+    }
+    flux_[i] = f;
   }
-  for (const auto& e : edges_) {
-    const double q = e.g * (nodes_[e.b].temp_c - nodes_[e.a].temp_c);
-    flux_[e.a] += q;
-    flux_[e.b] -= q;
-  }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i].temp_c += dt_s * flux_[i] / nodes_[i].capacity;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_[i].temp_c += dt_s * flux_[i] * inv_cap_[i];
   }
 }
 
 void RcNetwork::step(SimTime dt) {
   NEXTGOV_ASSERT(dt.us() >= 0);
   if (nodes_.empty() || dt.us() == 0) return;
-  const double total_s = dt.seconds();
-  const double dt_max = max_stable_dt_seconds();
-  const auto substeps = std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(total_s / dt_max)));
-  const double dt_sub = total_s / static_cast<double>(substeps);
-  for (std::size_t k = 0; k < substeps; ++k) euler_substep(dt_sub);
+  ensure_topology();
+  if (dt.us() != cached_dt_us_) {
+    const double total_s = dt.seconds();
+    cached_substeps_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(total_s / max_stable_dt_s_)));
+    cached_dt_sub_s_ = total_s / static_cast<double>(cached_substeps_);
+    cached_dt_us_ = dt.us();
+  }
+  for (std::size_t k = 0; k < cached_substeps_; ++k) euler_substep(cached_dt_sub_s_);
 }
 
 void RcNetwork::set_all_temperatures(Celsius t) noexcept {
@@ -92,25 +148,21 @@ void RcNetwork::set_all_temperatures(Celsius t) noexcept {
 }
 
 std::vector<Celsius> RcNetwork::steady_state() const {
-  // Solve A * T = b where A has the conductance Laplacian plus the ambient
-  // diagonal, and b = P + G_amb * T_amb.
+  // Solve A * T = b where A is the cached pristine system and
+  // b = P + G_amb * T_amb.
   const std::size_t n = nodes_.size();
   require(n > 0, "steady_state of empty network");
-  std::vector<double> a(n * n, 0.0);
-  std::vector<double> b(n, 0.0);
-  double total_g_ambient = 0.0;
+  ensure_topology();
+  require(total_g_ambient_ > 0.0, "network has no path to ambient; no steady state exists");
+
+  ss_a_ = dense_a_;  // elimination scribbles on the matrix; keep the original
+  ss_b_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    a[i * n + i] = nodes_[i].g_ambient;
-    b[i] = nodes_[i].power_w + nodes_[i].g_ambient * ambient_.value();
-    total_g_ambient += nodes_[i].g_ambient;
+    ss_b_[i] = nodes_[i].power_w + nodes_[i].g_ambient * ambient_.value();
   }
-  require(total_g_ambient > 0.0, "network has no path to ambient; no steady state exists");
-  for (const auto& e : edges_) {
-    a[e.a * n + e.a] += e.g;
-    a[e.b * n + e.b] += e.g;
-    a[e.a * n + e.b] -= e.g;
-    a[e.b * n + e.a] -= e.g;
-  }
+  auto& a = ss_a_;
+  auto& b = ss_b_;
+
   // Gaussian elimination with partial pivoting; n <= ~10 in practice.
   for (std::size_t col = 0; col < n; ++col) {
     std::size_t pivot = col;
@@ -130,15 +182,15 @@ std::vector<Celsius> RcNetwork::steady_state() const {
       b[r] -= factor * b[col];
     }
   }
-  std::vector<double> t(n, 0.0);
+  ss_t_.assign(n, 0.0);
   for (std::size_t ri = n; ri-- > 0;) {
     double sum = b[ri];
-    for (std::size_t c = ri + 1; c < n; ++c) sum -= a[ri * n + c] * t[c];
-    t[ri] = sum / a[ri * n + ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a[ri * n + c] * ss_t_[c];
+    ss_t_[ri] = sum / a[ri * n + ri];
   }
   std::vector<Celsius> out;
   out.reserve(n);
-  for (double v : t) out.emplace_back(v);
+  for (double v : ss_t_) out.emplace_back(v);
   return out;
 }
 

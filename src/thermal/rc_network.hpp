@@ -8,11 +8,19 @@
 //
 // Integrated with forward Euler and automatic sub-stepping so the scheme
 // stays stable (dt_sub < min_i C_i / sum G_i) for any caller-provided step.
+//
+// step() runs once per 1 ms engine tick for every simulated session, so the
+// solver keeps a precomputed view of the topology: a per-node CSR neighbor
+// layout with edge conductances, the per-node conductance sums that bound
+// the stable Euler step, and the sub-step count for the last step size.
+// All of it is rebuilt lazily after add_node()/connect(); steady-state
+// solves reuse a cached pristine copy of the dense conductance system.
 // steady_state() solves the linear system directly (Gaussian elimination,
 // networks are tiny) and is used for calibration and property tests.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -74,12 +82,37 @@ class RcNetwork {
     double g;  // W/K
   };
 
+  /// Rebuilds the CSR layout / stability bound / dense system after a
+  /// topology mutation. Const because the read-only queries
+  /// (max_stable_dt_seconds, steady_state) also need a current view.
+  void ensure_topology() const;
   void euler_substep(double dt_s) noexcept;
 
   Celsius ambient_;
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
+
+  // --- precomputed topology (lazy; invalidated by add_node/connect) ------
+  mutable bool topo_built_{false};
+  mutable std::vector<std::uint32_t> row_ptr_;   // CSR: node i's neighbors are
+  mutable std::vector<std::uint32_t> nbr_node_;  // nbr_node_[row_ptr_[i]..row_ptr_[i+1])
+  mutable std::vector<double> nbr_g_;            // matching edge conductances [W/K]
+  mutable std::vector<double> inv_cap_;          // 1 / C_i [K/J]
+  mutable double total_g_ambient_{0.0};
+  mutable double max_stable_dt_s_{0.0};
+  mutable std::vector<double> dense_a_;  // pristine steady-state system matrix
+
+  // Sub-step count for the last-seen step size (one engine runs a fixed dt,
+  // so this caches the ceil/divide of the stability analysis).
+  mutable std::int64_t cached_dt_us_{-1};
+  mutable std::size_t cached_substeps_{1};
+  mutable double cached_dt_sub_s_{0.0};
+
   mutable std::vector<double> flux_;  // scratch: net heat into each node [W]
+  // Scratch for steady_state() so repeated solves don't allocate.
+  mutable std::vector<double> ss_a_;
+  mutable std::vector<double> ss_b_;
+  mutable std::vector<double> ss_t_;
 };
 
 }  // namespace nextgov::thermal

@@ -50,7 +50,7 @@ TEST(Mode, ValuesAboveMaxClampToMax) {
 
 TEST(Mode, RejectsNegativeMaxValue) {
   const std::array<int, 1> v{1};
-  EXPECT_THROW(mode_of(v, -1), ConfigError);
+  EXPECT_THROW((void)mode_of(v, -1), ConfigError);
 }
 
 TEST(Mode, RoundedVariantRoundsHalfUp) {

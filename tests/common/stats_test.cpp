@@ -86,9 +86,9 @@ TEST(Percentile, InterpolatesBetweenRanks) {
 
 TEST(Percentile, RejectsBadInput) {
   const std::array<double, 1> v{1.0};
-  EXPECT_THROW(percentile({v.data(), 0}, 50.0), ConfigError);
-  EXPECT_THROW(percentile(v, -1.0), ConfigError);
-  EXPECT_THROW(percentile(v, 101.0), ConfigError);
+  EXPECT_THROW((void)percentile({v.data(), 0}, 50.0), ConfigError);
+  EXPECT_THROW((void)percentile(v, -1.0), ConfigError);
+  EXPECT_THROW((void)percentile(v, 101.0), ConfigError);
 }
 
 TEST(SpanHelpers, MeanAndMax) {

@@ -73,7 +73,9 @@ TEST(Apps, SpecValidation) {
       EXPECT_GT(phase.mean_duration_s, 0.0);
       EXPECT_GE(phase.background.big_avg, 0.0);
       EXPECT_LE(phase.background.big_hot, 1.0);
-      if (phase.demand == FrameDemand::kCadence) EXPECT_GT(phase.cadence_fps, 0.0);
+      if (phase.demand == FrameDemand::kCadence) {
+        EXPECT_GT(phase.cadence_fps, 0.0);
+      }
     }
   }
 }
