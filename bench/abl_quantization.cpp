@@ -23,21 +23,15 @@ int main() {
   std::printf("%12s %10s %13s %18s %14s\n", "fps_levels", "states", "mean_reward",
               "deployed_power_W", "deployed_FPS");
 
-  // Train per quantization level, then run every deployed evaluation
-  // session through one runner plan.
-  std::vector<sim::TrainingResult> trained;
-  trained.reserve(std::size(levels));
+  // Train all quantization levels concurrently through one TrainingPlan,
+  // then run every deployed evaluation session through one runner plan.
+  sim::TrainingPlan tplan;
   for (std::size_t level : levels) {
     core::NextConfig config;
     config.fps_levels = level;
-    const auto factory = [](std::uint64_t seed) {
-      return workload::make_app(workload::AppId::kPubg, seed);
-    };
-    sim::TrainingOptions opts;
-    opts.max_duration = SimTime::from_seconds(1200.0);
-    opts.seed = 31;
-    trained.push_back(sim::train_next_on(factory, config, opts));
+    tplan.add(workload::AppId::kPubg, config, eval_training_options(31, 1200.0));
   }
+  const std::vector<sim::TrainingResult> trained = sim::run_training_plan(tplan);
 
   sim::RunPlan plan;
   for (std::size_t i = 0; i < std::size(levels); ++i) {

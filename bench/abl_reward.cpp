@@ -44,21 +44,15 @@ int main() {
   csv.row_strings({"schedutil", std::to_string(sched.avg_power_w),
                    std::to_string(sched.peak_temp_big_c), std::to_string(sched.avg_fps)});
 
-  // Train the three reward variants (each builds its own table), then run
-  // all deployed evaluation sessions through one runner plan.
-  std::vector<sim::TrainingResult> trained;
-  trained.reserve(std::size(variants));
+  // Train the three reward variants concurrently through one TrainingPlan,
+  // then run all deployed evaluation sessions through one runner plan.
+  sim::TrainingPlan tplan;
   for (const auto& variant : variants) {
     core::NextConfig config;
     config.reward_metric = variant.metric;
-    const auto factory = [](std::uint64_t seed) {
-      return workload::make_app(workload::AppId::kLineage, seed);
-    };
-    sim::TrainingOptions opts;
-    opts.max_duration = SimTime::from_seconds(1500.0);
-    opts.seed = 17;
-    trained.push_back(sim::train_next_on(factory, config, opts));
+    tplan.add(workload::AppId::kLineage, config, eval_training_options(17));
   }
+  const std::vector<sim::TrainingResult> trained = sim::run_training_plan(tplan);
 
   sim::RunPlan plan;
   for (std::size_t i = 0; i < std::size(variants); ++i) {

@@ -4,8 +4,11 @@
 // fully trained", Section V).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -14,6 +17,41 @@
 #include "sim/runner.hpp"
 
 namespace nextgov::bench {
+
+/// Wall time of one call, for the perf benches' speedup measurements.
+inline double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Bit-identity over everything the training determinism contract covers:
+/// the learned table (entries, visit counts, tried masks) and every
+/// derived field except wall_seconds (host time by definition). Kept next
+/// to the SessionResult comparator use sites so the perf benches and any
+/// future bench check the *same* contract.
+inline bool training_results_identical(const sim::TrainingResult& a,
+                                       const sim::TrainingResult& b) {
+  if (a.converged != b.converged || a.sim_seconds != b.sim_seconds ||
+      a.decisions != b.decisions || a.final_mean_reward != b.final_mean_reward ||
+      a.states_visited != b.states_visited ||
+      a.table.action_count() != b.table.action_count() ||
+      a.table.state_count() != b.table.state_count() ||
+      a.table.total_visits() != b.table.total_visits()) {
+    return false;
+  }
+  for (const auto& [key, ea] : a.table.entries()) {
+    const auto it = b.table.entries().find(key);
+    if (it == b.table.entries().end()) return false;
+    const auto& eb = it->second;
+    if (ea.visits != eb.visits || ea.tried != eb.tried || ea.q.size() != eb.q.size()) {
+      return false;
+    }
+    if (std::memcmp(ea.q.data(), eb.q.data(), ea.q.size() * sizeof(float)) != 0) return false;
+  }
+  return true;
+}
 
 /// Where benches drop their CSV series (created on demand).
 inline std::string out_dir() {
@@ -37,15 +75,27 @@ inline void print_vs_paper(const char* label, double paper, double measured,
               measured, unit, ratio);
 }
 
-/// Trains Next on `factory`'s app until `budget` (full-budget refinement,
-/// not stop-at-convergence) and returns the learned table.
-inline sim::TrainingResult train_for_eval(sim::AppFactory factory, std::uint64_t seed,
-                                          double budget_s = 1500.0,
-                                          core::NextConfig config = {}) {
+/// The standard evaluation-training options: full-budget refinement, not
+/// stop-at-convergence ("All results for Next were observed when it was
+/// fully trained", Section V).
+inline sim::TrainingOptions eval_training_options(std::uint64_t seed,
+                                                  double budget_s = 1500.0) {
   sim::TrainingOptions opts;
   opts.max_duration = SimTime::from_seconds(budget_s);
   opts.seed = seed;
-  return sim::train_next_on(std::move(factory), config, opts);
+  return opts;
+}
+
+/// Trains Next on `factory`'s app until `budget` and returns the learned
+/// table. One cell of a TrainingPlan - benches training more than one
+/// agent should build the plan themselves so the cells fan out across the
+/// runner's worker pool instead of serializing.
+inline sim::TrainingResult train_for_eval(sim::AppFactory factory, std::uint64_t seed,
+                                          double budget_s = 1500.0,
+                                          core::NextConfig config = {}) {
+  sim::TrainingPlan plan;
+  plan.add(std::move(factory), "train_for_eval", config, eval_training_options(seed, budget_s));
+  return std::move(sim::run_training_plan(plan).front());
 }
 
 /// Adds `seeds` sessions (base_seed, base_seed+1, ...) of `cfg` to `plan`.

@@ -51,20 +51,21 @@ int main() {
   std::printf("%10s %8s %10s %10s %12s %14s\n", "series", "fps", "ppdw", "power_W",
               "temp_big_C", "paper_ppdw");
 
-  // Train one agent per cap (sequential: each builds its own table), then
-  // run every evaluation session - the governed trend and the worst-case
-  // red points - through a single runner plan.
+  // Train one agent per cap - all six cells fan out across the runner's
+  // worker pool via one TrainingPlan - then run every evaluation session
+  // (the governed trend and the worst-case red points) through a single
+  // runner plan.
   const auto factory_for = [](double cap) {
     return [cap](std::uint64_t seed) {
       return std::make_unique<workload::PhasedApp>(limited_lineage(cap), Rng{seed});
     };
   };
-  std::vector<sim::TrainingResult> trained;
-  trained.reserve(6);
+  sim::TrainingPlan tplan;
   for (std::size_t i = 0; i < 6; ++i) {
-    trained.push_back(
-        train_for_eval(factory_for(fps_caps[i]), 40 + static_cast<std::uint64_t>(i), 1000.0));
+    tplan.add(factory_for(fps_caps[i]), "lineage_capped",
+              core::NextConfig{}, eval_training_options(sim::derive_seed(40, i), 1000.0));
   }
+  const std::vector<sim::TrainingResult> trained = sim::run_training_plan(tplan);
 
   const double paper_worst[] = {0.0, 0.0039, 0.0395};
   const double worst_caps[] = {0.25, 1, 10};  // 0.25 FPS ~ "0" on the plot

@@ -37,21 +37,35 @@ int main() {
               "intqos_W", "nxt_sav%", "paper%", "iq_sav%", "paper%");
 
   const int kSeeds = 3;
-  for (const auto& ref : refs) {
-    const auto duration = workload::paper_session_length(ref.app);
-    const auto factory = [app = ref.app](std::uint64_t seed) {
-      return workload::make_app(app, seed);
-    };
-    const sim::TrainingResult trained =
-        train_for_eval(factory, 500 + static_cast<std::uint64_t>(ref.app));
 
-    // One plan per app: all (governor x seed) sessions fan out across the
-    // runner's worker pool; results come back in plan order.
-    sim::RunPlan plan;
-    const std::size_t slices = add_governor_sweeps(plan, ref.app, duration, kSeeds,
-                                                   &trained.table);
-    const auto results = sim::run_plan(plan);
-    const std::span<const sim::SessionResult> all{results};
+  // Phase 1: train one agent per app, all six cells concurrently across
+  // the runner's worker pool (training dominated this bench's wall time
+  // when it ran serially).
+  sim::TrainingPlan tplan;
+  for (const auto& ref : refs) {
+    tplan.add(ref.app, core::NextConfig{},
+              eval_training_options(500 + static_cast<std::uint64_t>(ref.app)));
+  }
+  const std::vector<sim::TrainingResult> trained = sim::run_training_plan(tplan);
+
+  // Phase 2: every (app x governor x seed) evaluation session in one plan;
+  // per-app slices start at the recorded offsets.
+  sim::RunPlan plan;
+  std::vector<std::size_t> offsets;
+  std::vector<std::size_t> slice_counts;
+  for (std::size_t i = 0; i < std::size(refs); ++i) {
+    offsets.push_back(plan.size());
+    slice_counts.push_back(add_governor_sweeps(plan, refs[i].app,
+                                               workload::paper_session_length(refs[i].app),
+                                               kSeeds, &trained[i].table));
+  }
+  const auto results = sim::run_plan(plan);
+
+  for (std::size_t i = 0; i < std::size(refs); ++i) {
+    const auto& ref = refs[i];
+    const std::size_t slices = slice_counts[i];
+    const std::span<const sim::SessionResult> all =
+        std::span{results}.subspan(offsets[i], slices * static_cast<std::size_t>(kSeeds));
     const double sched_w =
         mean_field(governor_slice(all, 0, kSeeds), &sim::SessionResult::avg_power_w);
     const double next_w =

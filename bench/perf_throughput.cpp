@@ -7,6 +7,16 @@
 // check the runner guarantees), and writes everything to
 // bench_out/BENCH_throughput.json so successive PRs can be compared.
 //
+// `--smoke` shrinks the measurement so CI can run it on every PR: the
+// numbers are then only smoke-level indicative, but the bit-identity
+// contract is still fully exercised.
+//
+// On hosts with a single hardware thread the parallel timing is
+// meaningless (threads just time-slice one core), so the speedup
+// measurement is reported as skipped; the bit-identity check still runs
+// with a real 4-thread pool, because the determinism contract is about
+// scheduling, not about cores.
+//
 // Reference points measured in the PR that introduced this bench (single
 // dedicated core, g++ 12 -O3 + LTO): pre-optimization ~4.5M steps/s on
 // both stacks; post-optimization ~9M steps/s.
@@ -25,13 +35,7 @@
 namespace {
 
 using namespace nextgov;
-
-double wall_seconds(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
+using nextgov::bench::wall_seconds;
 
 /// Steps/sec of one engine driven for `sim_seconds` of simulated time
 /// (1 ms steps) after a short warmup.
@@ -70,13 +74,16 @@ bool identical(const sim::SessionResult& a, const sim::SessionResult& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nextgov::bench;
 
-  print_header("perf", "engine steps/sec + parallel runner scaling");
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  print_header("perf", smoke ? "engine steps/sec + runner scaling (smoke mode)"
+                             : "engine steps/sec + parallel runner scaling");
 
   // --- serial hot-loop throughput ---------------------------------------
-  const double sim_seconds = 2000.0;
+  const double sim_seconds = smoke ? 150.0 : 2000.0;
   const double sched_sps = serial_steps_per_sec(sim::GovernorKind::kSchedutil, sim_seconds);
   const double next_sps = serial_steps_per_sec(sim::GovernorKind::kNext, sim_seconds);
   std::printf("  serial schedutil: %8.2fM steps/s\n", sched_sps / 1e6);
@@ -84,10 +91,11 @@ int main() {
 
   // --- parallel runner scaling ------------------------------------------
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t n_sessions = std::max<std::size_t>(8, 2 * hw);
+  const std::size_t n_sessions =
+      smoke ? std::max<std::size_t>(4, hw) : std::max<std::size_t>(8, 2 * hw);
   sim::RunPlan plan;
   sim::ExperimentConfig base;
-  base.duration = SimTime::from_seconds(60.0);
+  base.duration = SimTime::from_seconds(smoke ? 15.0 : 60.0);
   for (std::size_t i = 0; i < n_sessions; ++i) {
     sim::ExperimentConfig cfg = base;
     cfg.governor = (i % 2 == 0) ? sim::GovernorKind::kSchedutil : sim::GovernorKind::kNext;
@@ -95,26 +103,45 @@ int main() {
     plan.add(i % 2 == 0 ? workload::AppId::kLineage : workload::AppId::kFacebook, cfg);
   }
 
-  // At least 4 workers even on small machines so the thread pool (and the
-  // bit-identity contract under real concurrency) is always exercised;
-  // speedup is only meaningful when hw >= the pool size.
-  const unsigned pool_workers = std::max(hw, 4u);
+  // Timing pool: never more workers than hardware threads (oversubscribing
+  // a small machine only measures scheduler thrash) or than sessions.
+  const std::size_t timing_workers = std::min<std::size_t>(n_sessions, hw);
+  const bool can_measure_speedup = timing_workers >= 2;
+
   std::vector<sim::SessionResult> serial_results;
-  std::vector<sim::SessionResult> parallel_results;
   const double serial_s =
       wall_seconds([&] { serial_results = sim::run_plan(plan, {.workers = 1}); });
-  const double parallel_s =
-      wall_seconds([&] { parallel_results = sim::run_plan(plan, {.workers = pool_workers}); });
-  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+  // Bit-identity contract check: always under real concurrency (>= 4
+  // threads) even on single-core hosts - the contract is about scheduling
+  // independence, which one core still exercises via preemption.
+  const std::size_t contract_workers = std::max<std::size_t>(4, timing_workers);
+  std::vector<sim::SessionResult> parallel_results;
+  double parallel_s =
+      wall_seconds([&] { parallel_results = sim::run_plan(plan, {.workers = contract_workers}); });
+
+  double speedup = 0.0;
+  if (can_measure_speedup && contract_workers != timing_workers) {
+    parallel_s =
+        wall_seconds([&] { (void)sim::run_plan(plan, {.workers = timing_workers}); });
+  }
+  if (can_measure_speedup && parallel_s > 0.0) speedup = serial_s / parallel_s;
 
   bool bit_identical = serial_results.size() == parallel_results.size();
   for (std::size_t i = 0; bit_identical && i < serial_results.size(); ++i) {
     bit_identical = identical(serial_results[i], parallel_results[i]);
   }
 
-  std::printf("  runner: %zu sessions, serial %.2f s, %u workers %.2f s -> %.2fx, %s\n",
-              n_sessions, serial_s, pool_workers, parallel_s, speedup,
-              bit_identical ? "bit-identical" : "RESULTS DIVERGED");
+  if (can_measure_speedup) {
+    std::printf("  runner: %zu sessions, serial %.2f s, %zu workers %.2f s -> %.2fx, %s\n",
+                n_sessions, serial_s, timing_workers, parallel_s, speedup,
+                bit_identical ? "bit-identical" : "RESULTS DIVERGED");
+  } else {
+    std::printf("  runner: %zu sessions, serial %.2f s; speedup skipped (1 hardware "
+                "thread), bit-identity (%zu threads): %s\n",
+                n_sessions, serial_s, contract_workers,
+                bit_identical ? "bit-identical" : "RESULTS DIVERGED");
+  }
 
   // --- JSON trajectory file ---------------------------------------------
   const std::string path = out_dir() + "/BENCH_throughput.json";
@@ -125,6 +152,7 @@ int main() {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"perf_throughput\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
   std::fprintf(out, "  \"serial\": {\n");
   std::fprintf(out, "    \"sim_seconds\": %.1f,\n", sim_seconds);
@@ -133,10 +161,16 @@ int main() {
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"parallel\": {\n");
   std::fprintf(out, "    \"sessions\": %zu,\n", n_sessions);
-  std::fprintf(out, "    \"workers\": %u,\n", pool_workers);
+  std::fprintf(out, "    \"workers\": %zu,\n", timing_workers);
   std::fprintf(out, "    \"serial_wall_s\": %.4f,\n", serial_s);
-  std::fprintf(out, "    \"parallel_wall_s\": %.4f,\n", parallel_s);
-  std::fprintf(out, "    \"speedup\": %.3f,\n", speedup);
+  if (can_measure_speedup) {
+    std::fprintf(out, "    \"status\": \"ok\",\n");
+    std::fprintf(out, "    \"parallel_wall_s\": %.4f,\n", parallel_s);
+    std::fprintf(out, "    \"speedup\": %.3f,\n", speedup);
+  } else {
+    std::fprintf(out, "    \"status\": \"skipped: single hardware thread\",\n");
+    std::fprintf(out, "    \"speedup\": null,\n");
+  }
   std::fprintf(out, "    \"bit_identical\": %s\n", bit_identical ? "true" : "false");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");

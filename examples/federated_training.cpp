@@ -2,81 +2,125 @@
 // federated learning could be utilized to train the agent more effectively
 // by leveraging the computational power of the cloud."
 //
-// Simulates a small fleet: N devices each train Next on the same app with
-// their own users (seeds), upload their Q-tables, the server merges them
-// (visit-weighted FedAvg over tried actions) and ships the merged table to
-// a brand-new device, which deploys it without any local training.
+// Simulates a sharded fleet with sim::train_fleet(): N devices (each with
+// its own user seed) train Next on the same app concurrently across the
+// runner's worker pool, grouped into shards behind edge aggregators. Every
+// merge round each shard FedAvg-merges its devices; shards phone home to
+// the global server at different cadences, so the server's aggregate is a
+// *staleness-weighted* merge of whatever uploads it has. A brand-new
+// device then deploys the global table without any local training.
+//
+//   usage: example_federated_training [devices] [shards] [rounds]
+//
+// Defaults stay laptop-friendly (12 devices x 3 rounds x 150 s); the fleet
+// path itself scales to hundreds of devices, e.g.
+//   example_federated_training 200 8 3
 #include <cstdio>
-#include <vector>
+#include <cstdlib>
 
-#include "rl/federated.hpp"
-#include "sim/runner.hpp"
+#include "sim/fleet.hpp"
 #include "workload/apps.hpp"
 
-int main() {
+namespace {
+
+bool parse_count(const char* arg, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(arg, &end, 10);
+  if (end == arg || *end != '\0' || value == 0) return false;
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace nextgov;
 
   const auto app = workload::AppId::kLineage;
-  constexpr int kDevices = 3;
-  // Each device trains for a fraction of the single-device budget: the
-  // point of federation is pooling short, cheap per-device sessions.
-  const double per_device_budget_s = 500.0;
-
-  std::printf("federating %d devices x %.0f s of on-device training on '%s'\n\n", kDevices,
-              per_device_budget_s, std::string{workload::to_string(app)}.c_str());
-
-  std::vector<sim::TrainingResult> devices;
-  std::vector<const rl::QTable*> tables;
-  for (int d = 0; d < kDevices; ++d) {
-    sim::TrainingOptions opts;
-    opts.max_duration = SimTime::from_seconds(per_device_budget_s);
-    opts.seed = 100 + static_cast<std::uint64_t>(d) * 17;  // different users
-    devices.push_back(sim::train_next(app, core::NextConfig{}, opts));
-    std::printf("  device %d: %zu states, %llu visits, mean reward %.3f\n", d,
-                devices.back().states_visited,
-                static_cast<unsigned long long>(devices.back().table.total_visits()),
-                devices.back().final_mean_reward);
+  sim::FleetOptions fleet;
+  fleet.devices = 12;
+  fleet.shards = 3;
+  fleet.rounds = 3;
+  const bool args_ok = (argc <= 1 || parse_count(argv[1], fleet.devices)) &&
+                       (argc <= 2 || parse_count(argv[2], fleet.shards)) &&
+                       (argc <= 3 || parse_count(argv[3], fleet.rounds));
+  if (!args_ok || argc > 4 || fleet.shards > fleet.devices) {
+    std::fprintf(stderr,
+                 "usage: %s [devices] [shards] [rounds]\n"
+                 "       all positive integers, shards <= devices (default 12 3 3)\n",
+                 argv[0]);
+    return 1;
   }
-  for (const auto& d : devices) tables.push_back(&d.table);
+  // Each device trains for a small slice of the single-device budget per
+  // round: the point of federation is pooling short, cheap sessions.
+  fleet.round_duration = SimTime::from_seconds(150.0);
+  fleet.base_seed = 100;
+  fleet.sync_spread = 3;  // shard s syncs every 1 + (s % 3) rounds
 
-  const rl::QTable merged = rl::merge_q_tables(tables);
+  std::printf("federating %zu devices in %zu shards, %zu merge rounds x %.0f s on '%s'\n\n",
+              fleet.devices, fleet.shards, fleet.rounds, fleet.round_duration.seconds(),
+              std::string{workload::to_string(app)}.c_str());
+
+  const auto progress = [](const sim::FleetRoundStats& stats) {
+    std::printf("  round %zu: mean reward %.3f, %llu decisions, shard states [", stats.round,
+                stats.mean_reward, static_cast<unsigned long long>(stats.round_decisions));
+    for (std::size_t s = 0; s < stats.shard_states.size(); ++s) {
+      std::printf("%s%zu%s", s == 0 ? "" : " ", stats.shard_states[s],
+                  stats.shard_synced[s] ? "*" : "");
+    }
+    std::printf("]  (* = synced to global)\n");
+  };
+  const sim::FleetResult fleet_result = sim::train_fleet(app, fleet, {}, progress);
+
   const rl::CloudTimingModel timing{};
-  std::printf("\ncloud merge: %zu states (union of device coverage), +%.0f s comm overhead\n",
-              merged.state_count(), timing.comm_overhead_s);
+  std::printf("\nglobal aggregate: %zu states from %zu shard uploads, "
+              "%.1f s wall for %.0f device-sim-seconds (+%.0f s comm overhead)\n",
+              fleet_result.global.state_count(), fleet_result.shard_tables.size(),
+              fleet_result.wall_seconds,
+              static_cast<double>(fleet.devices) * fleet_result.device_sim_seconds,
+              timing.comm_overhead_s);
 
-  // A fresh device receives the merged table and runs with zero training.
-  // All three evaluation sessions fan out through the parallel runner.
+  // A fresh device receives the global table and runs with zero training;
+  // compare against stock and against the *stalest* shard's local
+  // aggregate on the same never-seen user session. (A shard that synced
+  // in the final round downloaded the server merge, i.e. its table IS the
+  // global table - only a stale shard shows what a device group misses
+  // between phone-homes. kNeverUploaded counts as maximally stale.)
+  std::size_t stalest = 0;
+  const auto upload_age = [&](std::size_t s) {
+    const std::size_t at = fleet_result.shard_last_upload[s];
+    return at == sim::kNeverUploaded ? std::size_t{0} : at + 1;  // 0 = never
+  };
+  for (std::size_t s = 1; s < fleet_result.shard_last_upload.size(); ++s) {
+    if (upload_age(s) < upload_age(stalest)) stalest = s;
+  }
+
   sim::ExperimentConfig cfg;
   cfg.duration = workload::paper_session_length(app);
   cfg.seed = 999;  // a user none of the training devices saw
-
-  // Compare against the best single device's table on the same session.
-  std::size_t best = 0;
-  for (std::size_t d = 1; d < devices.size(); ++d) {
-    if (devices[d].final_mean_reward > devices[best].final_mean_reward) best = d;
-  }
 
   sim::RunPlan plan;
   cfg.governor = sim::GovernorKind::kSchedutil;
   plan.add(app, cfg);
   cfg.governor = sim::GovernorKind::kNext;
-  cfg.trained_table = &merged;
+  cfg.trained_table = &fleet_result.global;
   plan.add(app, cfg);
-  cfg.trained_table = &devices[best].table;
+  cfg.trained_table = &fleet_result.shard_tables[stalest];
   plan.add(app, cfg);
   const auto results = sim::run_plan(plan);
   const sim::SessionResult& stock = results[0];
   const sim::SessionResult& fed = results[1];
-  const sim::SessionResult& solo = results[2];
+  const sim::SessionResult& shard = results[2];
 
-  std::printf("\n%-26s %12s %16s %10s\n", "configuration", "avg_power_W", "peak_big_temp_C",
-              "avg_FPS");
-  std::printf("%-26s %12.3f %16.1f %10.1f\n", "schedutil (stock)", stock.avg_power_w,
-              stock.peak_temp_big_c, stock.avg_fps);
-  std::printf("%-26s %12.3f %16.1f %10.1f\n", "Next (best single device)", solo.avg_power_w,
-              solo.peak_temp_big_c, solo.avg_fps);
-  std::printf("%-26s %12.3f %16.1f %10.1f\n", "Next (federated merge)", fed.avg_power_w,
-              fed.peak_temp_big_c, fed.avg_fps);
+  std::printf("\n%-28s %12s %16s %10s %9s\n", "configuration", "avg_power_W",
+              "peak_big_temp_C", "avg_FPS", "states");
+  std::printf("%-28s %12.3f %16.1f %10.1f %9s\n", "schedutil (stock)", stock.avg_power_w,
+              stock.peak_temp_big_c, stock.avg_fps, "-");
+  std::printf("%-28s %12.3f %16.1f %10.1f %9zu\n", "Next (stalest shard, local)",
+              shard.avg_power_w, shard.peak_temp_big_c, shard.avg_fps,
+              fleet_result.shard_tables[stalest].state_count());
+  std::printf("%-28s %12.3f %16.1f %10.1f %9zu\n", "Next (global aggregate)", fed.avg_power_w,
+              fed.peak_temp_big_c, fed.avg_fps, fleet_result.global.state_count());
   std::printf("\nfederated vs stock: %.1f%% power saved on a never-trained device.\n",
               100.0 * (1.0 - fed.avg_power_w / stock.avg_power_w));
   return 0;

@@ -1,10 +1,17 @@
 #include "rl/federated.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace nextgov::rl {
 
-QTable merge_q_tables(std::span<const QTable* const> tables) {
+namespace {
+
+/// Shared FedAvg core: visit-weighted averaging with an extra per-table
+/// weight multiplier (1.0 for every table = the plain merge).
+QTable merge_impl(std::span<const QTable* const> tables,
+                  std::span<const double> table_weight) {
   require(!tables.empty(), "merge_q_tables needs at least one table");
   const std::size_t actions = tables.front()->action_count();
   for (const QTable* t : tables) {
@@ -19,10 +26,12 @@ QTable merge_q_tables(std::span<const QTable* const> tables) {
   struct Acc {
     std::vector<double> weighted_q;
     std::vector<double> weight;
-    std::uint64_t visits{0};
+    double visits{0.0};
   };
   std::unordered_map<StateKey, Acc> acc;
-  for (const QTable* t : tables) {
+  for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+    const QTable* t = tables[ti];
+    const double tw = table_weight[ti];
     for (const auto& [key, e] : t->entries()) {
       auto [it, inserted] = acc.try_emplace(key);
       if (inserted) {
@@ -30,13 +39,13 @@ QTable merge_q_tables(std::span<const QTable* const> tables) {
         it->second.weight.assign(actions, 0.0);
       }
       // Visit count + 1 so tables with zero recorded visits still count.
-      const double w = static_cast<double>(e.visits) + 1.0;
+      const double w = tw * (static_cast<double>(e.visits) + 1.0);
       for (std::size_t a = 0; a < actions && a < 32; ++a) {
         if ((e.tried & (1u << a)) == 0) continue;
         it->second.weighted_q[a] += w * static_cast<double>(e.q[a]);
         it->second.weight[a] += w;
       }
-      it->second.visits += e.visits;
+      it->second.visits += tw * static_cast<double>(e.visits);
     }
   }
   for (const auto& [key, a] : acc) {
@@ -45,9 +54,33 @@ QTable merge_q_tables(std::span<const QTable* const> tables) {
         merged.set_q(key, action, a.weighted_q[action] / a.weight[action]);
       }
     }
-    merged.add_visits(key, a.visits);
+    // Staleness-discounted visit mass rounds to the nearest count, so the
+    // merged table's own weight in later (hierarchical) merges reflects
+    // how much *fresh* experience actually backs it.
+    merged.add_visits(key, static_cast<std::uint64_t>(std::llround(a.visits)));
   }
   return merged;
+}
+
+}  // namespace
+
+QTable merge_q_tables(std::span<const QTable* const> tables) {
+  const std::vector<double> unit(tables.size(), 1.0);
+  return merge_impl(tables, unit);
+}
+
+QTable merge_q_tables(std::span<const QTable* const> tables, std::span<const double> staleness,
+                      const StalenessMergePolicy& policy) {
+  require(staleness.size() == tables.size(),
+          "merge_q_tables: one staleness value per table required");
+  require(policy.half_life_rounds > 0.0, "merge_q_tables: half-life must be positive");
+  std::vector<double> weights;
+  weights.reserve(tables.size());
+  for (const double s : staleness) {
+    require(s >= 0.0, "merge_q_tables: staleness must be non-negative");
+    weights.push_back(policy.weight(s));
+  }
+  return merge_impl(tables, weights);
 }
 
 }  // namespace nextgov::rl

@@ -2,16 +2,24 @@
 //
 // Manufacturers ship many devices running the same apps; Section IV-C
 // proposes aggregating their training in the cloud (federated learning) and
-// pushing merged action-values back. Two pieces:
+// pushing merged action-values back. Three pieces:
 //
 //   merge_q_tables  - visit-weighted federated averaging of per-device
-//                     Q-tables (FedAvg applied to tabular action-values);
+//                     Q-tables (FedAvg applied to tabular action-values),
+//                     plus a staleness-weighted variant for fleets whose
+//                     shards upload at different cadences;
+//   StalenessMergePolicy - how fast an upload's weight decays with its age;
 //   CloudTimingModel- converts a measured host-side training wall time into
 //                     the end-to-end "cloud training time" the device
 //                     perceives (compute + the paper's measured ~4 s
 //                     round-trip communication overhead).
+//
+// The fleet-scale trainer that drives these at scale (shards of simulated
+// devices training concurrently with periodic merge rounds) lives one
+// layer up in sim/fleet.hpp.
 #pragma once
 
+#include <cmath>
 #include <span>
 
 #include "rl/qtable.hpp"
@@ -22,6 +30,28 @@ namespace nextgov::rl {
 /// count). States unknown to a device contribute weight 0 for that device.
 /// With a single table this is the identity.
 [[nodiscard]] QTable merge_q_tables(std::span<const QTable* const> tables);
+
+/// Exponential staleness decay for asynchronous federated aggregation: an
+/// upload that is `staleness` merge rounds old keeps
+/// 2^(-staleness / half_life_rounds) of its visit weight. Staleness 0 is
+/// full weight, so an all-fresh merge equals plain merge_q_tables().
+struct StalenessMergePolicy {
+  double half_life_rounds{2.0};
+
+  [[nodiscard]] double weight(double staleness) const noexcept {
+    return std::exp2(-staleness / half_life_rounds);
+  }
+};
+
+/// Staleness-weighted variant: `staleness[i]` is how many merge rounds ago
+/// table i was uploaded (>= 0). Each table's per-entry visit weights - and
+/// the visit counts it contributes to the merged table - are scaled by
+/// policy.weight(staleness[i]), so shards that phone home rarely pull the
+/// aggregate less than fresh ones, but their exclusive states still
+/// survive the merge (weight decays, never reaches zero).
+[[nodiscard]] QTable merge_q_tables(std::span<const QTable* const> tables,
+                                    std::span<const double> staleness,
+                                    const StalenessMergePolicy& policy = {});
 
 struct CloudTimingModel {
   double comm_overhead_s{4.0};  ///< to-and-fro device<->cloud (Section IV-C)

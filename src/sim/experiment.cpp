@@ -116,6 +116,11 @@ TrainingResult train_next_on(AppFactory app_factory, const core::NextConfig& con
   auto engine = make_engine(app_factory, exp);
   auto* agent = dynamic_cast<core::NextAgent*>(engine->meta());
   NEXTGOV_ASSERT(agent != nullptr);
+  if (options.initial_table != nullptr) {
+    // Warm start (federated merge rounds): resume learning from the given
+    // aggregate instead of a cold table. Mode stays kTraining.
+    agent->set_q_table(*options.initial_table);
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
   SimTime trained = SimTime::zero();

@@ -93,6 +93,12 @@ struct TrainingOptions {
   /// paper's measured "training time", Fig. 6). false: keep refining until
   /// max_duration (the "fully trained" tables used in the evaluation).
   bool stop_at_convergence{false};
+  /// Warm start: the agent begins from a copy of this table (action values
+  /// and visit counts) instead of cold, and keeps learning. This is how
+  /// federated merge rounds resume per-device training from the previous
+  /// round's aggregate (Section IV-C). Null = cold start. The pointee must
+  /// outlive the training call.
+  const rl::QTable* initial_table{nullptr};
 };
 
 struct TrainingResult {

@@ -1,0 +1,175 @@
+#include "sim/fleet.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace nextgov::sim {
+
+namespace {
+
+/// One shard's last upload to the global server.
+struct Upload {
+  rl::QTable table;
+  std::size_t round{0};
+};
+
+/// Copy of `table` carrying its action values and tried masks but no
+/// visit mass. Devices warm-start from this, so a round's shard merge
+/// counts historical visit mass exactly once - via the previous aggregate
+/// itself - instead of once per device (which would inflate it by the
+/// shard size every round and swamp the staleness weighting).
+rl::QTable strip_visits(const rl::QTable& table) {
+  rl::QTable out{table.action_count()};
+  for (const auto& [key, e] : table.entries()) {
+    for (std::size_t a = 0; a < table.action_count() && a < 32; ++a) {
+      if ((e.tried & (1u << a)) != 0) out.set_q(key, a, e.q[a]);
+    }
+  }
+  return out;
+}
+
+/// Staleness-weighted merge of the uploads the server has seen so far,
+/// aged relative to `current_round`.
+rl::QTable server_aggregate(const std::vector<std::optional<Upload>>& uploads,
+                            std::size_t current_round,
+                            const rl::StalenessMergePolicy& policy) {
+  std::vector<const rl::QTable*> tables;
+  std::vector<double> staleness;
+  for (const auto& upload : uploads) {
+    if (!upload.has_value()) continue;
+    tables.push_back(&upload->table);
+    staleness.push_back(static_cast<double>(current_round - upload->round));
+  }
+  NEXTGOV_ASSERT(!tables.empty());
+  return rl::merge_q_tables(tables, staleness, policy);
+}
+
+}  // namespace
+
+FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
+                        const RunnerOptions& runner, const FleetProgressFn& progress) {
+  require(static_cast<bool>(app_factory), "train_fleet needs an app factory");
+  require(options.devices > 0, "train_fleet needs at least one device");
+  require(options.shards > 0, "train_fleet needs at least one shard");
+  require(options.shards <= options.devices, "train_fleet: more shards than devices");
+  require(options.rounds > 0, "train_fleet needs at least one round");
+  require(options.sync_spread > 0, "train_fleet: sync_spread must be >= 1");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t n_shards = options.shards;
+  const auto shard_of = [&](std::size_t device) { return device % n_shards; };
+  // Shard s phones home every 1 + (s % sync_spread) rounds; shard 0 always
+  // syncs every round, so the server is never empty after round 0.
+  const auto sync_period = [&](std::size_t shard) {
+    return std::size_t{1} + shard % options.sync_spread;
+  };
+
+  std::vector<std::optional<rl::QTable>> shard_tables(n_shards);
+  std::vector<std::optional<Upload>> uploads(n_shards);
+  std::vector<std::size_t> shard_last_upload(n_shards, kNeverUploaded);
+
+  std::uint64_t total_decisions = 0;
+  double last_round_mean_reward = 0.0;
+  // The server's aggregate after the most recent sync. Shard 0 syncs every
+  // round, so this is always populated by the final round - it *is* the
+  // run's global table (recomputing server_aggregate at the end would
+  // redo the identical merge).
+  std::optional<rl::QTable> last_aggregate;
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    // 1. Every device trains for one round, warm-started from its shard's
+    //    aggregate (action values only - see strip_visits), all cells
+    //    fanned out across the shared worker pool.
+    std::vector<std::optional<rl::QTable>> warm_starts(n_shards);
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      if (shard_tables[s].has_value()) warm_starts[s] = strip_visits(*shard_tables[s]);
+    }
+    TrainingPlan plan;
+    for (std::size_t d = 0; d < options.devices; ++d) {
+      TrainingOptions cell;
+      cell.max_duration = options.round_duration;
+      cell.episode_length = options.episode_length;
+      cell.seed = derive_seed(derive_seed(options.base_seed, d), round);
+      cell.ambient = options.ambient;
+      const auto& warm = warm_starts[shard_of(d)];
+      cell.initial_table = warm.has_value() ? &*warm : nullptr;
+      plan.add(app_factory, "device_" + std::to_string(d), options.next_config, cell);
+    }
+    const std::vector<TrainingResult> round_results = run_training_plan(plan, runner);
+
+    double reward_sum = 0.0;
+    std::uint64_t round_decisions = 0;
+    for (const TrainingResult& r : round_results) {
+      reward_sum += r.final_mean_reward;
+      round_decisions += r.decisions;
+    }
+    total_decisions += round_decisions;
+    last_round_mean_reward = reward_sum / static_cast<double>(round_results.size());
+
+    // 2. Shard-local FedAvg: the previous aggregate (historical visit
+    //    mass, counted once) merged with its devices' fresh deltas.
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      std::vector<const rl::QTable*> members;
+      if (shard_tables[s].has_value()) members.push_back(&*shard_tables[s]);
+      for (std::size_t d = s; d < options.devices; d += n_shards) {
+        members.push_back(&round_results[d].table);
+      }
+      shard_tables[s] = rl::merge_q_tables(members);
+    }
+
+    // 3. Periodic global sync: due shards upload their fresh aggregate,
+    //    then download the server's staleness-weighted merge in return.
+    std::vector<bool> synced(n_shards, false);
+    bool any_synced = false;
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      if ((round + 1) % sync_period(s) != 0) continue;
+      uploads[s] = Upload{*shard_tables[s], round};
+      shard_last_upload[s] = round;
+      synced[s] = true;
+      any_synced = true;
+    }
+    if (any_synced) {
+      last_aggregate = server_aggregate(uploads, round, options.merge_policy);
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        if (synced[s]) shard_tables[s] = *last_aggregate;
+      }
+    }
+
+    if (progress) {
+      FleetRoundStats stats;
+      stats.round = round;
+      stats.shard_states.reserve(n_shards);
+      for (const auto& t : shard_tables) stats.shard_states.push_back(t->state_count());
+      stats.shard_synced = synced;
+      stats.mean_reward = last_round_mean_reward;
+      stats.round_decisions = round_decisions;
+      progress(stats);
+    }
+  }
+
+  NEXTGOV_ASSERT(last_aggregate.has_value());
+  FleetResult result{
+      std::move(*last_aggregate),
+      {},
+      std::move(shard_last_upload),
+      options.devices,
+      options.rounds,
+      total_decisions,
+      static_cast<double>(options.rounds) * options.round_duration.seconds(),
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count(),
+      last_round_mean_reward};
+  result.shard_tables.reserve(n_shards);
+  for (auto& t : shard_tables) result.shard_tables.push_back(std::move(*t));
+  return result;
+}
+
+FleetResult train_fleet(workload::AppId app, const FleetOptions& options,
+                        const RunnerOptions& runner, const FleetProgressFn& progress) {
+  return train_fleet([app](std::uint64_t seed) { return workload::make_app(app, seed); },
+                     options, runner, progress);
+}
+
+}  // namespace nextgov::sim

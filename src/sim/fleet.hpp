@@ -1,0 +1,99 @@
+// fleet.hpp - sharded federated fleet training (paper Section IV-C at
+// scale).
+//
+// Section IV-C's cloud-training story is a manufacturer's fleet: many
+// devices run the same app under different users, train locally, and the
+// cloud periodically aggregates their Q-tables and pushes the merge back.
+// train_fleet() simulates that end to end:
+//
+//   * N devices (one user seed each) are partitioned round-robin into
+//     shards - a shard models a device group behind one edge aggregator;
+//   * training proceeds in merge rounds: every device trains for
+//     round_duration of simulated time, warm-started from its shard's
+//     current aggregate (action values and tried masks; visit counts stay
+//     with the aggregate so historical experience is never double-counted
+//     across a shard's devices), with all devices of all shards fanned
+//     out across the runner's shared worker pool (TrainingPlan);
+//   * after each round a shard FedAvg-merges its previous aggregate with
+//     its devices' fresh deltas (visit-weighted);
+//   * shard s uploads to the global server every 1 + (s % sync_spread)
+//     rounds - later shards phone home rarer, like real fleets where
+//     connectivity and charging windows differ - and downloads the fresh
+//     staleness-weighted global aggregate in return;
+//   * the final global table is the staleness-weighted merge of each
+//     shard's *last upload* (the server never sees fresher state).
+//
+// Everything is deterministic in FleetOptions (device d, round r trains
+// with seed derive_seed(derive_seed(base_seed, d), r)), so fleet training
+// inherits the runner's bit-identical-across-worker-counts contract
+// (wall_seconds excepted). Asserted by tests/sim/fleet_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rl/federated.hpp"
+#include "sim/runner.hpp"
+
+namespace nextgov::sim {
+
+struct FleetOptions {
+  std::size_t devices{8};
+  std::size_t shards{2};
+  std::size_t rounds{3};
+  /// Per-device simulated training time per merge round.
+  SimTime round_duration{SimTime::from_seconds(180.0)};
+  /// App restart cadence inside a round (TrainingOptions::episode_length).
+  SimTime episode_length{SimTime::from_seconds(60.0)};
+  /// Device d's user stream is derive_seed(base_seed, d); each round
+  /// re-derives so episodes never replay across rounds.
+  std::uint64_t base_seed{2020};
+  core::NextConfig next_config{};
+  Celsius ambient{Celsius{21.0}};
+  /// Shard s syncs with the global server every 1 + (s % sync_spread)
+  /// rounds. 1 = synchronous FedAvg (no staleness anywhere).
+  std::size_t sync_spread{2};
+  rl::StalenessMergePolicy merge_policy{};
+};
+
+/// Per-round progress snapshot, handed to FleetProgressFn after each merge.
+struct FleetRoundStats {
+  std::size_t round{0};                    ///< 0-based
+  std::vector<std::size_t> shard_states;   ///< state count per shard aggregate
+  std::vector<bool> shard_synced;          ///< uploaded to global this round?
+  double mean_reward{0.0};                 ///< mean of this round's device rewards
+  std::uint64_t round_decisions{0};        ///< decisions across all devices
+};
+using FleetProgressFn = std::function<void(const FleetRoundStats&)>;
+
+/// FleetResult::shard_last_upload value for a shard whose sync cadence
+/// never came due within the configured rounds.
+inline constexpr std::size_t kNeverUploaded = static_cast<std::size_t>(-1);
+
+struct FleetResult {
+  rl::QTable global;                            ///< final staleness-weighted aggregate
+  std::vector<rl::QTable> shard_tables;         ///< each shard's final local aggregate
+  /// Round index of each shard's last upload, or kNeverUploaded.
+  std::vector<std::size_t> shard_last_upload;
+  std::size_t devices{0};
+  std::size_t rounds{0};
+  std::uint64_t total_decisions{0};
+  double device_sim_seconds{0.0};  ///< simulated training time per device
+  double wall_seconds{0.0};        ///< host wall-clock for the whole fleet run
+  double mean_final_reward{0.0};   ///< mean device reward in the last round
+};
+
+/// Trains a sharded fleet on `app_factory`'s app and returns the final
+/// global aggregate. `runner.workers` sizes the shared pool each round.
+/// `progress` (optional) fires once per completed merge round.
+[[nodiscard]] FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
+                                      const RunnerOptions& runner = {},
+                                      const FleetProgressFn& progress = {});
+
+/// Same for a catalog app.
+[[nodiscard]] FleetResult train_fleet(workload::AppId app, const FleetOptions& options,
+                                      const RunnerOptions& runner = {},
+                                      const FleetProgressFn& progress = {});
+
+}  // namespace nextgov::sim

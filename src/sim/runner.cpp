@@ -2,11 +2,70 @@
 
 #include <atomic>
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "common/error.hpp"
 
 namespace nextgov::sim {
+
+// --- the shared worker pool ------------------------------------------------
+
+std::size_t resolve_workers(std::size_t requested, std::size_t tasks) noexcept {
+  std::size_t workers = requested;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 0 ? hw : 1;
+  }
+  return std::min(workers, tasks);
+}
+
+void run_indexed_tasks(std::size_t n, std::size_t workers,
+                       const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  require(static_cast<bool>(task), "run_indexed_tasks needs a task");
+
+  std::vector<std::exception_ptr> errors(n);
+  const auto execute = [&](std::size_t i) {
+    try {
+      task(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) execute(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          execute(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // SplitMix64 finalizer over the combined (base, index) state: adjacent
+  // indices land in unrelated streams.
+  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// --- evaluation sweeps -----------------------------------------------------
 
 void RunPlan::add(workload::AppId app, const ExperimentConfig& config) {
   add([app](std::uint64_t seed) { return workload::make_app(app, seed); },
@@ -33,60 +92,53 @@ void RunPlan::add_grid(std::span<const workload::AppId> apps,
   }
 }
 
-std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
-  // SplitMix64 finalizer over the combined (base, index) state: adjacent
-  // indices land in unrelated streams.
-  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+std::vector<SessionResult> run_plan(const RunPlan& plan, const RunnerOptions& options) {
+  std::vector<SessionResult> results(plan.size());
+  run_indexed_tasks(plan.size(), resolve_workers(options.workers, plan.size()),
+                    [&](std::size_t i) {
+                      const SessionSpec& spec = plan.sessions()[i];
+                      results[i] = run_session(spec.app_factory, spec.name, spec.config);
+                    });
+  return results;
 }
 
-std::vector<SessionResult> run_plan(const RunPlan& plan, const RunnerOptions& options) {
-  const std::size_t n = plan.size();
-  std::vector<SessionResult> results(n);
-  if (n == 0) return results;
+// --- training sweeps -------------------------------------------------------
 
-  std::size_t workers = options.workers;
-  if (workers == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    workers = hw > 0 ? hw : 1;
+void TrainingPlan::add(workload::AppId app, const core::NextConfig& config,
+                       const TrainingOptions& options) {
+  add([app](std::uint64_t seed) { return workload::make_app(app, seed); },
+      std::string{workload::to_string(app)}, config, options);
+}
+
+void TrainingPlan::add(AppFactory factory, std::string name, const core::NextConfig& config,
+                       const TrainingOptions& options) {
+  require(static_cast<bool>(factory), "TrainingPlan::add needs an app factory");
+  cells_.push_back(TrainingSpec{std::move(name), std::move(factory), config, options});
+}
+
+void TrainingPlan::add_seed_sweep(workload::AppId app, const core::NextConfig& config,
+                                  const TrainingOptions& base, std::size_t count,
+                                  std::uint64_t base_seed) {
+  for (std::size_t i = 0; i < count; ++i) {
+    TrainingOptions options = base;
+    options.seed = derive_seed(base_seed, i);
+    add(app, config, options);
   }
-  workers = std::min(workers, n);
+}
 
-  std::vector<std::exception_ptr> errors(n);
-  const auto execute = [&](std::size_t i) {
-    const SessionSpec& spec = plan.sessions()[i];
-    try {
-      results[i] = run_session(spec.app_factory, spec.name, spec.config);
-    } catch (...) {
-      errors[i] = std::current_exception();
-    }
-  };
-
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) execute(i);
-  } else {
-    // Dynamic work stealing off a shared counter: sessions vary wildly in
-    // length (games run 300 s, Spotify 105 s), so static striping would
-    // leave workers idle behind the longest stripe.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-             i = next.fetch_add(1, std::memory_order_relaxed)) {
-          execute(i);
-        }
-      });
-    }
-    for (auto& t : pool) t.join();
-  }
-
-  for (std::size_t i = 0; i < n; ++i) {
-    if (errors[i]) std::rethrow_exception(errors[i]);
-  }
+std::vector<TrainingResult> run_training_plan(const TrainingPlan& plan,
+                                              const RunnerOptions& options) {
+  // TrainingResult carries a QTable (no default state), so cells land in
+  // optional slots and are moved out once the pool has drained.
+  std::vector<std::optional<TrainingResult>> slots(plan.size());
+  run_indexed_tasks(plan.size(), resolve_workers(options.workers, plan.size()),
+                    [&](std::size_t i) {
+                      const TrainingSpec& cell = plan.cells()[i];
+                      slots[i] = train_next_on(cell.app_factory, cell.config, cell.options);
+                    });
+  std::vector<TrainingResult> results;
+  results.reserve(plan.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
 }
 

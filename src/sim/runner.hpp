@@ -1,22 +1,27 @@
-// runner.hpp - the batch/parallel experiment runner.
+// runner.hpp - the batch/parallel experiment + training runner.
 //
 // Every figure, ablation and example in this repo is a sweep of independent
-// (app x governor x seed x config) sessions through the 1 ms engine loop.
-// The runner makes that sweep declarative: callers describe a RunPlan, and
-// run_plan() executes it across a worker pool, returning SessionResults in
-// plan order.
+// cells: evaluation sweeps are (app x governor x seed x config) sessions
+// through the 1 ms engine loop, training sweeps are (app x NextConfig x
+// seed x budget) online-learning runs. The runner makes both declarative:
+// callers describe a RunPlan or a TrainingPlan, and run_plan() /
+// run_training_plan() execute it across one shared worker pool
+// (run_indexed_tasks), returning results in plan order.
 //
-// Determinism contract: a session's entire trajectory is a function of its
-// SessionSpec (the engine holds no global state, and every stochastic
-// element draws from the spec's seed), so parallel execution is
-// *bit-identical* to serial execution regardless of worker count or
-// scheduling. This is asserted by tests/sim/runner_test.cpp. The contract
-// requires app factories to be pure: make_app-style factories that derive
-// everything from the seed argument qualify; factories that mutate shared
-// captured state do not.
+// Determinism contract: a cell's entire trajectory is a function of its
+// spec (the engine holds no global state, and every stochastic element
+// draws from the spec's seed), so parallel execution is *bit-identical* to
+// serial execution regardless of worker count or scheduling. For training
+// cells the contract covers the learned table and every derived field
+// except TrainingResult::wall_seconds, which measures host wall-clock by
+// definition. Asserted by tests/sim/runner_test.cpp and
+// tests/sim/training_plan_test.cpp. The contract requires app factories to
+// be pure: make_app-style factories that derive everything from the seed
+// argument qualify; factories that mutate shared captured state do not.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +30,31 @@
 #include "workload/apps.hpp"
 
 namespace nextgov::sim {
+
+// --- the shared worker pool ------------------------------------------------
+
+/// Resolves a RunnerOptions-style worker request against a task count:
+/// 0 = one worker per hardware thread, and never more workers than tasks.
+[[nodiscard]] std::size_t resolve_workers(std::size_t requested, std::size_t tasks) noexcept;
+
+/// Executes task(0) .. task(n-1) across `workers` threads with dynamic
+/// work stealing off a shared counter (cells vary wildly in length, so
+/// static striping would leave workers idle behind the longest stripe).
+/// workers <= 1 runs serially in the calling thread. Exceptions are
+/// collected per index and the first one in *index order* is rethrown
+/// after all workers have drained. Both run_plan() and run_training_plan()
+/// are thin wrappers over this pool; benches with bespoke per-cell loops
+/// (e.g. fig06's instrumented training) can use it directly.
+void run_indexed_tasks(std::size_t n, std::size_t workers,
+                       const std::function<void(std::size_t)>& task);
+
+struct RunnerOptions {
+  /// Worker threads; 0 = one per hardware thread. 1 = serial in the
+  /// calling thread (no pool).
+  std::size_t workers{0};
+};
+
+// --- evaluation sweeps -----------------------------------------------------
 
 /// One independent session of a run plan.
 struct SessionSpec {
@@ -58,22 +88,57 @@ class RunPlan {
   std::vector<SessionSpec> sessions_;
 };
 
-struct RunnerOptions {
-  /// Worker threads; 0 = one per hardware thread. 1 = serial in the
-  /// calling thread (no pool).
-  std::size_t workers{0};
-};
-
 /// Executes every session of `plan` and returns results in plan order.
-/// Sessions are distributed across workers dynamically (longest sessions
-/// don't serialize the tail). Rethrows the first failure in plan order
-/// after all workers have drained.
 [[nodiscard]] std::vector<SessionResult> run_plan(const RunPlan& plan,
                                                   const RunnerOptions& options = {});
 
+// --- training sweeps -------------------------------------------------------
+
+/// One independent training cell of a training plan.
+struct TrainingSpec {
+  std::string name;        ///< label for diagnostics/CSV rows
+  AppFactory app_factory;  ///< must be pure (see determinism contract above)
+  core::NextConfig config;
+  TrainingOptions options;
+};
+
+/// Declarative batch of (app x NextConfig x seed x budget) training cells,
+/// mirroring RunPlan. Build with add()/add_seed_sweep(), execute with
+/// run_training_plan(). The figure benches route *all* their agent
+/// training through this (one agent per cell trains concurrently instead
+/// of serializing the sweep).
+class TrainingPlan {
+ public:
+  /// Adds one training cell for a catalog app.
+  void add(workload::AppId app, const core::NextConfig& config,
+           const TrainingOptions& options);
+  /// Adds one training cell for an arbitrary app factory.
+  void add(AppFactory factory, std::string name, const core::NextConfig& config,
+           const TrainingOptions& options);
+
+  /// `count` cells of `base` whose seeds are derive_seed(base_seed, i) -
+  /// the repo's one documented seed-derivation scheme for sweeps.
+  void add_seed_sweep(workload::AppId app, const core::NextConfig& config,
+                      const TrainingOptions& base, std::size_t count,
+                      std::uint64_t base_seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cells_.empty(); }
+  [[nodiscard]] const std::vector<TrainingSpec>& cells() const noexcept { return cells_; }
+
+ private:
+  std::vector<TrainingSpec> cells_;
+};
+
+/// Executes every training cell of `plan` and returns TrainingResults in
+/// plan order, bit-identical to serial execution (wall_seconds excepted).
+[[nodiscard]] std::vector<TrainingResult> run_training_plan(const TrainingPlan& plan,
+                                                            const RunnerOptions& options = {});
+
 /// Stateless SplitMix64-style seed derivation for grid sweeps: gives every
 /// (base, index) pair an independent, reproducible stream. Used by
-/// add_grid() callers that want per-cell seeds from one base seed.
+/// add_grid()/add_seed_sweep() callers that want per-cell seeds from one
+/// base seed.
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept;
 
 }  // namespace nextgov::sim

@@ -78,6 +78,79 @@ TEST(Federated, NullTableRejected) {
   EXPECT_THROW((void)merge_q_tables(tables), ConfigError);
 }
 
+TEST(FederatedStaleness, ZeroStalenessMatchesPlainMerge) {
+  QTable a{2};
+  a.set_q(5, 0, 1.0);
+  for (int i = 0; i < 9; ++i) a.record_visit(5);
+  QTable b{2};
+  b.set_q(5, 0, 0.0);
+  b.set_q(7, 1, 0.25);
+  const std::array<const QTable*, 2> tables{&a, &b};
+  const std::array<double, 2> fresh{0.0, 0.0};
+  const QTable plain = merge_q_tables(tables);
+  const QTable weighted = merge_q_tables(tables, fresh);
+  EXPECT_EQ(weighted.state_count(), plain.state_count());
+  EXPECT_DOUBLE_EQ(weighted.q(5, 0), plain.q(5, 0));
+  EXPECT_DOUBLE_EQ(weighted.q(7, 1), plain.q(7, 1));
+  EXPECT_EQ(weighted.total_visits(), plain.total_visits());
+}
+
+TEST(FederatedStaleness, StaleTableIsDownweighted) {
+  // Both tables carry 10 effective visits (9 recorded + 1) on state 5,
+  // action 0: fresh says 1.0, a 2-round-stale upload says 0.0. With a
+  // 1-round half-life the stale weight is 2^-2 = 0.25, so the merge is
+  // 10*1.0 / (10 + 2.5) = 0.8 - not the plain merge's 0.5.
+  QTable fresh{1};
+  fresh.set_q(5, 0, 1.0);
+  for (int i = 0; i < 9; ++i) fresh.record_visit(5);
+  QTable stale{1};
+  stale.set_q(5, 0, 0.0);
+  for (int i = 0; i < 9; ++i) stale.record_visit(5);
+  const std::array<const QTable*, 2> tables{&fresh, &stale};
+  const std::array<double, 2> staleness{0.0, 2.0};
+  const QTable merged = merge_q_tables(tables, staleness, StalenessMergePolicy{1.0});
+  EXPECT_NEAR(merged.q(5, 0), 0.8, 1e-6);
+  // Visit mass is discounted the same way: 9 + round(0.25 * 9) = 11.
+  EXPECT_EQ(merged.total_visits(), 11u);
+}
+
+TEST(FederatedStaleness, VeryStaleStatesStillSurviveTheMerge) {
+  // A shard that has not phoned home for many rounds contributes almost no
+  // weight to contested entries, but its exclusive coverage must not be
+  // dropped: weight decays, it never reaches zero.
+  QTable fresh{1};
+  fresh.set_q(1, 0, 0.5);
+  QTable stale{1};
+  stale.set_q(2, 0, 0.9);
+  const std::array<const QTable*, 2> tables{&fresh, &stale};
+  const std::array<double, 2> staleness{0.0, 50.0};
+  const QTable merged = merge_q_tables(tables, staleness);
+  EXPECT_EQ(merged.state_count(), 2u);
+  EXPECT_NEAR(merged.q(2, 0), 0.9, 1e-6);
+}
+
+TEST(FederatedStaleness, HalfLifeControlsDecay) {
+  const StalenessMergePolicy fast{1.0};
+  const StalenessMergePolicy slow{4.0};
+  EXPECT_DOUBLE_EQ(fast.weight(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fast.weight(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(fast.weight(3.0), 0.125);
+  EXPECT_DOUBLE_EQ(slow.weight(4.0), 0.5);
+  EXPECT_GT(slow.weight(3.0), fast.weight(3.0));
+}
+
+TEST(FederatedStaleness, RejectsBadInputs) {
+  QTable a{2};
+  QTable b{2};
+  const std::array<const QTable*, 2> tables{&a, &b};
+  const std::array<double, 1> short_staleness{0.0};
+  EXPECT_THROW((void)merge_q_tables(tables, short_staleness), ConfigError);
+  const std::array<double, 2> negative{0.0, -1.0};
+  EXPECT_THROW((void)merge_q_tables(tables, negative), ConfigError);
+  const std::array<double, 2> fine{0.0, 1.0};
+  EXPECT_THROW((void)merge_q_tables(tables, fine, StalenessMergePolicy{0.0}), ConfigError);
+}
+
 TEST(CloudTiming, AddsPaperCommunicationOverhead) {
   // Section IV-C: "maximum communication (to- and fro-) overhead of 4 secs".
   const CloudTimingModel model{};

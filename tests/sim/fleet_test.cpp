@@ -1,0 +1,122 @@
+// Tests for sharded federated fleet training (sim/fleet.hpp): determinism
+// across worker counts, shard sync cadence/staleness bookkeeping, progress
+// reporting and deployability of the global aggregate.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/fleet.hpp"
+
+namespace nextgov::sim {
+namespace {
+
+FleetOptions small_fleet() {
+  FleetOptions options;
+  options.devices = 4;
+  options.shards = 2;
+  options.rounds = 2;
+  options.round_duration = SimTime::from_seconds(30.0);
+  options.episode_length = SimTime::from_seconds(15.0);
+  options.base_seed = 321;
+  options.sync_spread = 2;  // shard 0 syncs every round, shard 1 every 2nd
+  return options;
+}
+
+void expect_tables_identical(const rl::QTable& a, const rl::QTable& b) {
+  ASSERT_EQ(a.state_count(), b.state_count());
+  EXPECT_EQ(a.total_visits(), b.total_visits());
+  for (const auto& [key, ea] : a.entries()) {
+    const auto it = b.entries().find(key);
+    ASSERT_NE(it, b.entries().end()) << "state " << key << " missing";
+    EXPECT_EQ(ea.visits, it->second.visits) << "state " << key;
+    EXPECT_EQ(ea.tried, it->second.tried) << "state " << key;
+    for (std::size_t i = 0; i < ea.q.size(); ++i) {
+      EXPECT_EQ(ea.q[i], it->second.q[i]) << "state " << key << " action " << i;
+    }
+  }
+}
+
+TEST(Fleet, DeterministicAcrossWorkerCounts) {
+  const FleetOptions options = small_fleet();
+  const FleetResult serial = train_fleet(workload::AppId::kFacebook, options, {.workers = 1});
+  const FleetResult pooled = train_fleet(workload::AppId::kFacebook, options, {.workers = 4});
+  expect_tables_identical(serial.global, pooled.global);
+  EXPECT_EQ(serial.total_decisions, pooled.total_decisions);
+  EXPECT_EQ(serial.mean_final_reward, pooled.mean_final_reward);
+  ASSERT_EQ(serial.shard_tables.size(), pooled.shard_tables.size());
+  for (std::size_t s = 0; s < serial.shard_tables.size(); ++s) {
+    SCOPED_TRACE(s);
+    expect_tables_identical(serial.shard_tables[s], pooled.shard_tables[s]);
+  }
+}
+
+TEST(Fleet, SyncCadenceDrivesStaleness) {
+  // sync_spread = 2: shard 0 uploads every round (last upload = final
+  // round), shard 1 every 2nd round (rounds are 0-based, upload after
+  // round r when (r+1) % 2 == 0 -> r = 1).
+  FleetOptions options = small_fleet();
+  options.rounds = 3;
+  const FleetResult result = train_fleet(workload::AppId::kFacebook, options);
+  ASSERT_EQ(result.shard_last_upload.size(), 2u);
+  EXPECT_EQ(result.shard_last_upload[0], 2u);
+  EXPECT_EQ(result.shard_last_upload[1], 1u);
+}
+
+TEST(Fleet, NeverSyncedShardIsMarkedAsSuch) {
+  // One round with sync_spread = 2: shard 1 (period 2) never comes due,
+  // so its last-upload slot must carry the explicit sentinel, and the
+  // global aggregate is built from shard 0's upload alone.
+  FleetOptions options = small_fleet();
+  options.rounds = 1;
+  const FleetResult result = train_fleet(workload::AppId::kFacebook, options);
+  EXPECT_EQ(result.shard_last_upload[0], 0u);
+  EXPECT_EQ(result.shard_last_upload[1], kNeverUploaded);
+  EXPECT_GT(result.global.state_count(), 0u);
+}
+
+TEST(Fleet, ProgressFiresOncePerRoundAndCoverageGrows) {
+  const FleetOptions options = small_fleet();
+  std::vector<FleetRoundStats> rounds;
+  const FleetResult result = train_fleet(
+      workload::AppId::kFacebook, options, {},
+      [&](const FleetRoundStats& stats) { rounds.push_back(stats); });
+  ASSERT_EQ(rounds.size(), options.rounds);
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(rounds[r].round, r);
+    ASSERT_EQ(rounds[r].shard_states.size(), options.shards);
+    EXPECT_GT(rounds[r].round_decisions, 0u);
+  }
+  // Shard 0 syncs every round, so its last-round aggregate fed the server.
+  EXPECT_TRUE(rounds.back().shard_synced[0]);
+  EXPECT_GT(result.global.state_count(), 0u);
+  EXPECT_GT(result.total_decisions, 0u);
+  // The global union cannot lose states round over round: the server
+  // always merges the latest uploads.
+  EXPECT_GE(result.global.state_count(), rounds.front().shard_states[0]);
+}
+
+TEST(Fleet, GlobalTableIsDeployable) {
+  const FleetResult result = train_fleet(workload::AppId::kFacebook, small_fleet());
+  ExperimentConfig cfg;
+  cfg.governor = GovernorKind::kNext;
+  cfg.duration = SimTime::from_seconds(20.0);
+  cfg.seed = 999;
+  cfg.trained_table = &result.global;
+  const SessionResult session = run_app_session(workload::AppId::kFacebook, cfg);
+  EXPECT_GT(session.avg_power_w, 0.1);
+  EXPECT_GT(session.avg_fps, 0.0);
+}
+
+TEST(Fleet, RejectsBadGeometry) {
+  FleetOptions options = small_fleet();
+  options.shards = 8;  // more shards than devices
+  EXPECT_THROW((void)train_fleet(workload::AppId::kFacebook, options), ConfigError);
+  options = small_fleet();
+  options.devices = 0;
+  EXPECT_THROW((void)train_fleet(workload::AppId::kFacebook, options), ConfigError);
+  options = small_fleet();
+  options.rounds = 0;
+  EXPECT_THROW((void)train_fleet(workload::AppId::kFacebook, options), ConfigError);
+}
+
+}  // namespace
+}  // namespace nextgov::sim

@@ -1,0 +1,123 @@
+// Tests for the parallel training runner: plan construction, the
+// determinism contract (N-worker training is bit-identical to serial in
+// plan order, wall_seconds excepted), warm starts and failure propagation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "sim/runner.hpp"
+
+namespace nextgov::sim {
+namespace {
+
+TrainingOptions short_training(std::uint64_t seed, double budget_s = 40.0) {
+  TrainingOptions opts;
+  opts.max_duration = SimTime::from_seconds(budget_s);
+  opts.episode_length = SimTime::from_seconds(20.0);
+  opts.seed = seed;
+  return opts;
+}
+
+/// Bit-identity over everything the determinism contract covers: the
+/// learned table (entries, visit counts, tried masks) and every derived
+/// field except wall_seconds (host time by definition).
+void expect_bit_identical(const TrainingResult& a, const TrainingResult& b) {
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.final_mean_reward, b.final_mean_reward);
+  EXPECT_EQ(a.states_visited, b.states_visited);
+  ASSERT_EQ(a.table.action_count(), b.table.action_count());
+  ASSERT_EQ(a.table.state_count(), b.table.state_count());
+  EXPECT_EQ(a.table.total_visits(), b.table.total_visits());
+  for (const auto& [key, ea] : a.table.entries()) {
+    const auto it = b.table.entries().find(key);
+    ASSERT_NE(it, b.table.entries().end()) << "state " << key << " missing";
+    const auto& eb = it->second;
+    EXPECT_EQ(ea.visits, eb.visits) << "state " << key;
+    EXPECT_EQ(ea.tried, eb.tried) << "state " << key;
+    ASSERT_EQ(ea.q.size(), eb.q.size());
+    EXPECT_EQ(std::memcmp(ea.q.data(), eb.q.data(), ea.q.size() * sizeof(float)), 0)
+        << "state " << key;
+  }
+}
+
+TEST(TrainingPlan, BuildsCellsInOrder) {
+  TrainingPlan plan;
+  plan.add(workload::AppId::kFacebook, core::NextConfig{}, short_training(1));
+  core::NextConfig fine;
+  fine.fps_levels = 60;
+  plan.add(workload::AppId::kLineage, fine, short_training(2));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.cells()[0].name, "facebook");
+  EXPECT_EQ(plan.cells()[1].name, "lineage");
+  EXPECT_EQ(plan.cells()[1].config.fps_levels, 60u);
+  EXPECT_EQ(plan.cells()[1].options.seed, 2u);
+}
+
+TEST(TrainingPlan, SeedSweepUsesDerivedSeeds) {
+  TrainingPlan plan;
+  plan.add_seed_sweep(workload::AppId::kPubg, core::NextConfig{}, short_training(0), 3, 99);
+  ASSERT_EQ(plan.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.cells()[i].options.seed, derive_seed(99, i));
+  }
+}
+
+TEST(TrainingPlan, AddRejectsNullFactory) {
+  TrainingPlan plan;
+  EXPECT_THROW(plan.add(AppFactory{}, "broken", core::NextConfig{}, short_training(1)),
+               ConfigError);
+}
+
+TEST(TrainingRunner, ParallelIsBitIdenticalToSerial) {
+  // 2 apps x 2 seeds, short budgets: enough to cross episode restarts and
+  // exercise the full RL stack under real concurrency.
+  TrainingPlan plan;
+  plan.add(workload::AppId::kFacebook, core::NextConfig{}, short_training(5));
+  plan.add(workload::AppId::kFacebook, core::NextConfig{}, short_training(6));
+  plan.add(workload::AppId::kLineage, core::NextConfig{}, short_training(7));
+  plan.add(workload::AppId::kLineage, core::NextConfig{}, short_training(8));
+  const auto serial = run_training_plan(plan, {.workers = 1});
+  const auto parallel = run_training_plan(plan, {.workers = 4});
+  ASSERT_EQ(serial.size(), plan.size());
+  ASSERT_EQ(parallel.size(), plan.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_bit_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(TrainingRunner, WarmStartResumesFromTable) {
+  TrainingPlan cold_plan;
+  cold_plan.add(workload::AppId::kFacebook, core::NextConfig{}, short_training(11, 60.0));
+  const TrainingResult cold = std::move(run_training_plan(cold_plan).front());
+  ASSERT_GT(cold.table.state_count(), 0u);
+
+  TrainingOptions warm_opts = short_training(12, 30.0);
+  warm_opts.initial_table = &cold.table;
+  TrainingPlan warm_plan;
+  warm_plan.add(workload::AppId::kFacebook, core::NextConfig{}, warm_opts);
+  const TrainingResult warm = std::move(run_training_plan(warm_plan).front());
+
+  // The warm-started agent keeps the cold run's coverage (and adds to it).
+  EXPECT_GE(warm.table.state_count(), cold.table.state_count());
+  EXPECT_GT(warm.table.total_visits(), cold.table.total_visits());
+}
+
+TEST(TrainingRunner, EmptyPlanReturnsEmpty) {
+  EXPECT_TRUE(run_training_plan(TrainingPlan{}).empty());
+}
+
+TEST(TrainingRunner, PropagatesTrainingFailure) {
+  TrainingPlan plan;
+  plan.add(workload::AppId::kHome, core::NextConfig{}, short_training(1, 5.0));
+  plan.add([](std::uint64_t) -> std::unique_ptr<workload::App> {
+    throw ConfigError("boom");
+  }, "broken", core::NextConfig{}, short_training(2, 5.0));
+  EXPECT_THROW((void)run_training_plan(plan, {.workers = 2}), ConfigError);
+}
+
+}  // namespace
+}  // namespace nextgov::sim
