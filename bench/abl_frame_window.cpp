@@ -22,14 +22,14 @@ namespace {
 
 using namespace nextgov;
 
-/// Records the exact 25 ms FPS stream the agent would see.
+/// Records the exact 25 ms FPS stream the agent would see. Session setup
+/// comes from the scenario library's per-app scenario.
 workload::FpsTrace record_fps_trace(workload::AppId app, double seconds, std::uint64_t seed) {
-  sim::ExperimentConfig cfg;
-  cfg.governor = sim::GovernorKind::kSchedutil;
-  cfg.duration = SimTime::from_seconds(seconds);
-  cfg.seed = seed;
-  auto engine = sim::make_engine(
-      [app](std::uint64_t s) { return workload::make_app(app, s); }, cfg);
+  sim::ScenarioSpec spec = sim::app_scenario(app);
+  spec.duration = SimTime::from_seconds(seconds);
+  const sim::ExperimentConfig cfg =
+      spec.experiment_config(sim::GovernorKind::kSchedutil, seed);
+  auto engine = sim::make_engine(spec.app_factory(), cfg);
   workload::FpsTrace trace;
   const SimTime sample = SimTime::from_ms(25);
   SimTime next_sample = SimTime::zero();

@@ -25,23 +25,22 @@ int main() {
 
   // Train all quantization levels concurrently through one TrainingPlan,
   // then run every deployed evaluation session through one runner plan.
+  // Session setup (paper-length PubG) comes from the scenario library.
+  const sim::ScenarioSpec spec = sim::app_scenario(workload::AppId::kPubg);
   sim::TrainingPlan tplan;
   for (std::size_t level : levels) {
     core::NextConfig config;
     config.fps_levels = level;
-    tplan.add(workload::AppId::kPubg, config, eval_training_options(31, 1200.0));
+    tplan.add(spec.app_factory(), spec.name, config, eval_training_options(31, 1200.0));
   }
   const std::vector<sim::TrainingResult> trained = sim::run_training_plan(tplan);
 
   sim::RunPlan plan;
   for (std::size_t i = 0; i < std::size(levels); ++i) {
-    sim::ExperimentConfig cfg;
-    cfg.governor = sim::GovernorKind::kNext;
+    sim::ExperimentConfig cfg = spec.experiment_config(sim::GovernorKind::kNext, 2);
     cfg.next_config.fps_levels = levels[i];
     cfg.trained_table = &trained[i].table;
-    cfg.duration = SimTime::from_seconds(300.0);
-    cfg.seed = 2;
-    plan.add(workload::AppId::kPubg, cfg);
+    plan.add(spec.app_factory(), spec.name, cfg);
   }
   const auto results = sim::run_plan(plan);
 

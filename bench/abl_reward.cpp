@@ -27,13 +27,14 @@ int main() {
                               {"ppw", core::RewardMetric::kPpw},
                               {"fps_only", core::RewardMetric::kFpsOnly}};
 
-  // Stock baseline for context (a one-session runner plan).
-  sim::ExperimentConfig sched_cfg;
-  sched_cfg.governor = sim::GovernorKind::kSchedutil;
-  sched_cfg.duration = SimTime::from_seconds(300.0);
-  sched_cfg.seed = 2;
+  // Stock baseline for context (a one-session runner plan). The session
+  // setup - paper-length Lineage at the paper's operating point - comes
+  // from the scenario library's per-app scenario.
+  const sim::ScenarioSpec spec = sim::app_scenario(workload::AppId::kLineage);
+  const std::uint64_t eval_seed = 2;
   sim::RunPlan sched_plan;
-  sched_plan.add(workload::AppId::kLineage, sched_cfg);
+  sched_plan.add(spec.app_factory(), spec.name,
+                 spec.experiment_config(sim::GovernorKind::kSchedutil, eval_seed));
   const sim::SessionResult sched = std::move(sim::run_plan(sched_plan).front());
 
   CsvWriter csv{out_dir() + "/abl_reward.csv",
@@ -56,13 +57,10 @@ int main() {
 
   sim::RunPlan plan;
   for (std::size_t i = 0; i < std::size(variants); ++i) {
-    sim::ExperimentConfig cfg;
-    cfg.governor = sim::GovernorKind::kNext;
+    sim::ExperimentConfig cfg = spec.experiment_config(sim::GovernorKind::kNext, eval_seed);
     cfg.next_config.reward_metric = variants[i].metric;
     cfg.trained_table = &trained[i].table;
-    cfg.duration = SimTime::from_seconds(300.0);
-    cfg.seed = 2;
-    plan.add(workload::AppId::kLineage, cfg);
+    plan.add(spec.app_factory(), spec.name, cfg);
   }
   const auto results = sim::run_plan(plan);
 

@@ -4,6 +4,7 @@
 // fully trained", Section V).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +16,7 @@
 
 #include "sim/experiment.hpp"
 #include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 
 namespace nextgov::bench {
 
@@ -51,6 +53,50 @@ inline bool training_results_identical(const sim::TrainingResult& a,
     if (std::memcmp(ea.q.data(), eb.q.data(), ea.q.size() * sizeof(float)) != 0) return false;
   }
   return true;
+}
+
+/// Serial-vs-pool measurement of one RunPlan, shared by the perf benches:
+/// workers clamped to min(plan size, hardware threads) for timing, the
+/// single-core "skipped" annotation, and the bit-identity gate always
+/// exercised under real concurrency (>= 4 threads) even on one-core hosts
+/// because the determinism contract is about scheduling, not cores.
+struct PlanTiming {
+  std::vector<sim::SessionResult> serial_results;  ///< plan order
+  double serial_s{0.0};
+  double parallel_s{0.0};
+  std::size_t workers{0};  ///< timing pool size
+  /// False on single-hardware-thread hosts: parallel timing would only
+  /// measure scheduler thrash, so speedup stays 0 and JSON writers should
+  /// emit a "skipped" status.
+  bool can_measure_speedup{false};
+  double speedup{0.0};
+  std::size_t contract_workers{0};  ///< pool size of the bit-identity run
+  bool bit_identical{false};
+};
+
+inline PlanTiming time_run_plan(const sim::RunPlan& plan, unsigned hardware_threads) {
+  PlanTiming t;
+  t.workers = std::min<std::size_t>(plan.size(), std::max(1u, hardware_threads));
+  t.can_measure_speedup = t.workers >= 2;
+  t.contract_workers = std::max<std::size_t>(4, t.workers);
+
+  t.serial_s =
+      wall_seconds([&] { t.serial_results = sim::run_plan(plan, {.workers = 1}); });
+
+  std::vector<sim::SessionResult> parallel_results;
+  t.parallel_s = wall_seconds(
+      [&] { parallel_results = sim::run_plan(plan, {.workers = t.contract_workers}); });
+  if (t.can_measure_speedup && t.contract_workers != t.workers) {
+    t.parallel_s =
+        wall_seconds([&] { (void)sim::run_plan(plan, {.workers = t.workers}); });
+  }
+  if (t.can_measure_speedup && t.parallel_s > 0.0) t.speedup = t.serial_s / t.parallel_s;
+
+  t.bit_identical = t.serial_results.size() == parallel_results.size();
+  for (std::size_t i = 0; t.bit_identical && i < t.serial_results.size(); ++i) {
+    t.bit_identical = sim::bit_identical(t.serial_results[i], parallel_results[i]);
+  }
+  return t;
 }
 
 /// Where benches drop their CSV series (created on demand).
@@ -145,6 +191,48 @@ inline std::span<const sim::SessionResult> governor_slice(
     std::span<const sim::SessionResult> results, std::size_t index, int seeds) {
   return results.subspan(index * static_cast<std::size_t>(seeds),
                          static_cast<std::size_t>(seeds));
+}
+
+/// The full Fig. 7/8 evaluation protocol, deduplicated out of those benches
+/// (they copy-pasted it): phase 1 trains one Next agent per app with all
+/// cells concurrent in one TrainingPlan; phase 2 runs every
+/// (app x governor x seed) evaluation session - at the app's scenario
+/// session length - in one runner plan. Read per-app slices with
+/// app_results() + governor_slice().
+struct AppGovernorMatrix {
+  std::vector<sim::TrainingResult> trained;  ///< one per app, app order
+  std::vector<sim::SessionResult> results;   ///< plan order
+  std::vector<std::size_t> offsets;          ///< per app: start index into results
+  std::vector<std::size_t> slice_counts;     ///< per app: governor slices (2 or 3)
+  int seeds{0};
+
+  [[nodiscard]] std::span<const sim::SessionResult> app_results(std::size_t i) const {
+    return std::span{results}.subspan(
+        offsets[i], slice_counts[i] * static_cast<std::size_t>(seeds));
+  }
+};
+
+inline AppGovernorMatrix run_app_governor_matrix(std::span<const workload::AppId> apps,
+                                                 int seeds,
+                                                 std::uint64_t train_seed_base) {
+  AppGovernorMatrix m;
+  m.seeds = seeds;
+  sim::TrainingPlan tplan;
+  for (workload::AppId app : apps) {
+    tplan.add(app, core::NextConfig{},
+              eval_training_options(train_seed_base + static_cast<std::uint64_t>(app)));
+  }
+  m.trained = sim::run_training_plan(tplan);
+
+  sim::RunPlan plan;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    m.offsets.push_back(plan.size());
+    m.slice_counts.push_back(
+        add_governor_sweeps(plan, apps[i], sim::app_scenario(apps[i]).effective_duration(),
+                            seeds, &m.trained[i].table));
+  }
+  m.results = sim::run_plan(plan);
+  return m;
 }
 
 }  // namespace nextgov::bench

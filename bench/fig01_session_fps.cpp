@@ -10,7 +10,6 @@
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
-#include "workload/session.hpp"
 
 int main() {
   using namespace nextgov;
@@ -18,15 +17,14 @@ int main() {
 
   print_header("Fig. 1", "FPS + big/LITTLE frequency under schedutil (home->Facebook->Spotify)");
 
-  sim::ExperimentConfig cfg;
-  cfg.governor = sim::GovernorKind::kSchedutil;
-  cfg.duration = SimTime::from_seconds(280.0);
-  cfg.record_period = SimTime::from_seconds(3.0);  // the figure's 3 s sampling
-  cfg.seed = 1;
+  // The canonical session comes from the scenario library; only the
+  // figure's 3 s sampling cadence is local to this bench.
+  sim::ScenarioSpec spec = sim::scenario("fig1_session");
+  spec.record_period = SimTime::from_seconds(3.0);
 
   sim::RunPlan plan;
-  plan.add([](std::uint64_t seed) { return workload::make_fig1_session(seed); }, "fig1session",
-           cfg);
+  plan.add(spec.app_factory(), spec.name,
+           spec.experiment_config(sim::GovernorKind::kSchedutil));
   const sim::SessionResult r = std::move(sim::run_plan(plan).front());
 
   std::printf("%8s %10s %8s %14s %14s\n", "time_s", "app", "fps", "f_big_MHz", "f_little_MHz");

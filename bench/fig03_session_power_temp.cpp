@@ -9,7 +9,6 @@
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
-#include "workload/session.hpp"
 
 int main() {
   using namespace nextgov;
@@ -17,12 +16,10 @@ int main() {
 
   print_header("Fig. 3", "power & big-CPU temperature: schedutil vs Next (same session)");
 
-  const auto factory = [](std::uint64_t seed) { return workload::make_fig1_session(seed); };
-
-  sim::ExperimentConfig cfg;
-  cfg.duration = SimTime::from_seconds(280.0);
-  cfg.record_period = SimTime::from_seconds(1.0);
-  cfg.seed = 1;
+  // The canonical session comes from the scenario library (same workload,
+  // ambient and panel as fig01).
+  const sim::ScenarioSpec spec = sim::scenario("fig1_session");
+  const sim::AppFactory factory = spec.app_factory();
 
   std::printf("training Next on the session workload...\n");
   const sim::TrainingResult trained = train_for_eval(factory, 1001);
@@ -32,11 +29,10 @@ int main() {
 
   // Both evaluation sessions go through the parallel runner.
   sim::RunPlan plan;
-  cfg.governor = sim::GovernorKind::kSchedutil;
-  plan.add(factory, "fig1session", cfg);
-  cfg.governor = sim::GovernorKind::kNext;
-  cfg.trained_table = &trained.table;
-  plan.add(factory, "fig1session", cfg);
+  plan.add(factory, spec.name, spec.experiment_config(sim::GovernorKind::kSchedutil));
+  sim::ExperimentConfig next_cfg = spec.experiment_config(sim::GovernorKind::kNext);
+  next_cfg.trained_table = &trained.table;
+  plan.add(factory, spec.name, next_cfg);
   const auto results = sim::run_plan(plan);
   const sim::SessionResult& sched = results[0];
   const sim::SessionResult& next = results[1];

@@ -38,34 +38,16 @@ int main() {
 
   const int kSeeds = 3;
 
-  // Phase 1: train one agent per app, all six cells concurrently across
-  // the runner's worker pool (training dominated this bench's wall time
-  // when it ran serially).
-  sim::TrainingPlan tplan;
-  for (const auto& ref : refs) {
-    tplan.add(ref.app, core::NextConfig{},
-              eval_training_options(500 + static_cast<std::uint64_t>(ref.app)));
-  }
-  const std::vector<sim::TrainingResult> trained = sim::run_training_plan(tplan);
-
-  // Phase 2: every (app x governor x seed) evaluation session in one plan;
-  // per-app slices start at the recorded offsets.
-  sim::RunPlan plan;
-  std::vector<std::size_t> offsets;
-  std::vector<std::size_t> slice_counts;
-  for (std::size_t i = 0; i < std::size(refs); ++i) {
-    offsets.push_back(plan.size());
-    slice_counts.push_back(add_governor_sweeps(plan, refs[i].app,
-                                               workload::paper_session_length(refs[i].app),
-                                               kSeeds, &trained[i].table));
-  }
-  const auto results = sim::run_plan(plan);
+  // Train-then-evaluate across every (app x governor x seed) cell: the
+  // shared protocol in bench_util (also fig08's), scenario session lengths.
+  std::vector<workload::AppId> apps;
+  for (const auto& ref : refs) apps.push_back(ref.app);
+  const AppGovernorMatrix m = run_app_governor_matrix(apps, kSeeds, 500);
 
   for (std::size_t i = 0; i < std::size(refs); ++i) {
     const auto& ref = refs[i];
-    const std::size_t slices = slice_counts[i];
-    const std::span<const sim::SessionResult> all =
-        std::span{results}.subspan(offsets[i], slices * static_cast<std::size_t>(kSeeds));
+    const std::size_t slices = m.slice_counts[i];
+    const std::span<const sim::SessionResult> all = m.app_results(i);
     const double sched_w =
         mean_field(governor_slice(all, 0, kSeeds), &sim::SessionResult::avg_power_w);
     const double next_w =

@@ -30,34 +30,15 @@ int main() {
   double max_iq_big_red = 0.0;
   double max_iq_dev_red = 0.0;
 
-  // Phase 1: train one agent per app, all cells concurrently through one
-  // TrainingPlan. Phase 2: every (app x governor x seed) evaluation
-  // session in one runner plan; per-app slices start at the recorded
-  // offsets.
+  // Train-then-evaluate across every (app x governor x seed) cell: the
+  // shared protocol in bench_util (also fig07's), scenario session lengths.
   const auto apps = workload::all_apps();
-  sim::TrainingPlan tplan;
-  for (workload::AppId app : apps) {
-    tplan.add(app, core::NextConfig{},
-              eval_training_options(600 + static_cast<std::uint64_t>(app)));
-  }
-  const std::vector<sim::TrainingResult> trained = sim::run_training_plan(tplan);
-
-  sim::RunPlan plan;
-  std::vector<std::size_t> offsets;
-  std::vector<std::size_t> slice_counts;
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    offsets.push_back(plan.size());
-    slice_counts.push_back(add_governor_sweeps(plan, apps[i],
-                                               workload::paper_session_length(apps[i]),
-                                               kSeeds, &trained[i].table));
-  }
-  const auto results = sim::run_plan(plan);
+  const AppGovernorMatrix m = run_app_governor_matrix(apps, kSeeds, 600);
 
   for (std::size_t i = 0; i < apps.size(); ++i) {
     const workload::AppId app = apps[i];
-    const std::size_t slices = slice_counts[i];
-    const std::span<const sim::SessionResult> all =
-        std::span{results}.subspan(offsets[i], slices * static_cast<std::size_t>(kSeeds));
+    const std::size_t slices = m.slice_counts[i];
+    const std::span<const sim::SessionResult> all = m.app_results(i);
     const auto peak_temps = [&](std::size_t slice) {
       return std::pair{mean_field(governor_slice(all, slice, kSeeds),
                                   &sim::SessionResult::peak_temp_big_c),

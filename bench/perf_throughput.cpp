@@ -52,26 +52,6 @@ double serial_steps_per_sec(sim::GovernorKind kind, double sim_seconds) {
   return sim_seconds * 1000.0 / wall;
 }
 
-/// True when two results are bit-identical in every summary field and the
-/// whole recorded series (Sample is all-double, so memcmp equality is
-/// exactly bitwise equality per sample).
-bool identical(const sim::SessionResult& a, const sim::SessionResult& b) {
-  if (a.app != b.app || a.governor != b.governor || a.duration_s != b.duration_s ||
-      a.avg_power_w != b.avg_power_w || a.peak_power_w != b.peak_power_w ||
-      a.avg_temp_big_c != b.avg_temp_big_c || a.peak_temp_big_c != b.peak_temp_big_c ||
-      a.avg_temp_device_c != b.avg_temp_device_c ||
-      a.peak_temp_device_c != b.peak_temp_device_c || a.avg_fps != b.avg_fps ||
-      a.energy_j != b.energy_j || a.frames_presented != b.frames_presented ||
-      a.frames_dropped != b.frames_dropped || a.avg_ppdw != b.avg_ppdw ||
-      a.series.size() != b.series.size()) {
-    return false;
-  }
-  for (std::size_t i = 0; i < a.series.size(); ++i) {
-    if (std::memcmp(&a.series[i], &b.series[i], sizeof(sim::Sample)) != 0) return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,44 +83,20 @@ int main(int argc, char** argv) {
     plan.add(i % 2 == 0 ? workload::AppId::kLineage : workload::AppId::kFacebook, cfg);
   }
 
-  // Timing pool: never more workers than hardware threads (oversubscribing
-  // a small machine only measures scheduler thrash) or than sessions.
-  const std::size_t timing_workers = std::min<std::size_t>(n_sessions, hw);
-  const bool can_measure_speedup = timing_workers >= 2;
+  // Shared serial-vs-pool measurement + bit-identity gate (bench_util):
+  // timing workers clamped to min(sessions, hardware threads), the
+  // contract check always under >= 4 threads even on single-core hosts.
+  const PlanTiming timing = time_run_plan(plan, hw);
 
-  std::vector<sim::SessionResult> serial_results;
-  const double serial_s =
-      wall_seconds([&] { serial_results = sim::run_plan(plan, {.workers = 1}); });
-
-  // Bit-identity contract check: always under real concurrency (>= 4
-  // threads) even on single-core hosts - the contract is about scheduling
-  // independence, which one core still exercises via preemption.
-  const std::size_t contract_workers = std::max<std::size_t>(4, timing_workers);
-  std::vector<sim::SessionResult> parallel_results;
-  double parallel_s =
-      wall_seconds([&] { parallel_results = sim::run_plan(plan, {.workers = contract_workers}); });
-
-  double speedup = 0.0;
-  if (can_measure_speedup && contract_workers != timing_workers) {
-    parallel_s =
-        wall_seconds([&] { (void)sim::run_plan(plan, {.workers = timing_workers}); });
-  }
-  if (can_measure_speedup && parallel_s > 0.0) speedup = serial_s / parallel_s;
-
-  bool bit_identical = serial_results.size() == parallel_results.size();
-  for (std::size_t i = 0; bit_identical && i < serial_results.size(); ++i) {
-    bit_identical = identical(serial_results[i], parallel_results[i]);
-  }
-
-  if (can_measure_speedup) {
+  if (timing.can_measure_speedup) {
     std::printf("  runner: %zu sessions, serial %.2f s, %zu workers %.2f s -> %.2fx, %s\n",
-                n_sessions, serial_s, timing_workers, parallel_s, speedup,
-                bit_identical ? "bit-identical" : "RESULTS DIVERGED");
+                n_sessions, timing.serial_s, timing.workers, timing.parallel_s,
+                timing.speedup, timing.bit_identical ? "bit-identical" : "RESULTS DIVERGED");
   } else {
     std::printf("  runner: %zu sessions, serial %.2f s; speedup skipped (1 hardware "
                 "thread), bit-identity (%zu threads): %s\n",
-                n_sessions, serial_s, contract_workers,
-                bit_identical ? "bit-identical" : "RESULTS DIVERGED");
+                n_sessions, timing.serial_s, timing.contract_workers,
+                timing.bit_identical ? "bit-identical" : "RESULTS DIVERGED");
   }
 
   // --- JSON trajectory file ---------------------------------------------
@@ -161,20 +117,20 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"parallel\": {\n");
   std::fprintf(out, "    \"sessions\": %zu,\n", n_sessions);
-  std::fprintf(out, "    \"workers\": %zu,\n", timing_workers);
-  std::fprintf(out, "    \"serial_wall_s\": %.4f,\n", serial_s);
-  if (can_measure_speedup) {
+  std::fprintf(out, "    \"workers\": %zu,\n", timing.workers);
+  std::fprintf(out, "    \"serial_wall_s\": %.4f,\n", timing.serial_s);
+  if (timing.can_measure_speedup) {
     std::fprintf(out, "    \"status\": \"ok\",\n");
-    std::fprintf(out, "    \"parallel_wall_s\": %.4f,\n", parallel_s);
-    std::fprintf(out, "    \"speedup\": %.3f,\n", speedup);
+    std::fprintf(out, "    \"parallel_wall_s\": %.4f,\n", timing.parallel_s);
+    std::fprintf(out, "    \"speedup\": %.3f,\n", timing.speedup);
   } else {
     std::fprintf(out, "    \"status\": \"skipped: single hardware thread\",\n");
     std::fprintf(out, "    \"speedup\": null,\n");
   }
-  std::fprintf(out, "    \"bit_identical\": %s\n", bit_identical ? "true" : "false");
+  std::fprintf(out, "    \"bit_identical\": %s\n", timing.bit_identical ? "true" : "false");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("  -> %s\n\n", path.c_str());
-  return bit_identical ? 0 : 1;
+  return timing.bit_identical ? 0 : 1;
 }

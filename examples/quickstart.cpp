@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "workload/apps.hpp"
 
 int main() {
@@ -14,19 +15,19 @@ int main() {
 
   std::puts("nextgov quickstart: Next (DATE 2020) on a simulated Galaxy Note 9\n");
 
-  // 1. Every experiment needs a workload. Factories keep sessions
-  //    reproducible: the same seed replays the same user behaviour.
+  // 1. Every experiment needs a workload. The scenario library describes
+  //    complete operating points (workload, duration, ambient, panel);
+  //    app_scenario() is the paper-length single-app point. Factories keep
+  //    sessions reproducible: the same seed replays the same behaviour.
   const auto app = workload::AppId::kFacebook;
+  const sim::ScenarioSpec spec = sim::app_scenario(app);
 
   // 2. Baseline: stock schedutil for one paper-length session. Sessions
   //    run through the batch runner - a one-entry plan here, a whole
-  //    (app x governor x seed) sweep in the figure benches.
-  sim::ExperimentConfig config;
-  config.governor = sim::GovernorKind::kSchedutil;
-  config.duration = workload::paper_session_length(app);
-  config.seed = 42;
+  //    scenario matrix in bench/scenario_matrix.
+  sim::ExperimentConfig config = spec.experiment_config(sim::GovernorKind::kSchedutil, 42);
   sim::RunPlan baseline_plan;
-  baseline_plan.add(app, config);
+  baseline_plan.add(spec.app_factory(), spec.name, config);
   const sim::SessionResult stock = std::move(sim::run_plan(baseline_plan).front());
   std::printf("[schedutil] avg power %.2f W | peak big temp %.1f C | avg FPS %.1f\n",
               stock.avg_power_w, stock.peak_temp_big_c, stock.avg_fps);
@@ -44,10 +45,10 @@ int main() {
               trained.final_mean_reward, trained.converged ? " (converged)" : "");
 
   // 4. Deploy the learned Q-table greedily ("fully trained", Section V).
-  config.governor = sim::GovernorKind::kNext;
+  config = spec.experiment_config(sim::GovernorKind::kNext, 42);
   config.trained_table = &trained.table;
   sim::RunPlan deploy_plan;
-  deploy_plan.add(app, config);
+  deploy_plan.add(spec.app_factory(), spec.name, config);
   const sim::SessionResult next = std::move(sim::run_plan(deploy_plan).front());
   std::printf("\n[Next]      avg power %.2f W | peak big temp %.1f C | avg FPS %.1f\n",
               next.avg_power_w, next.peak_temp_big_c, next.avg_fps);

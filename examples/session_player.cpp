@@ -1,14 +1,20 @@
-// session_player - run any app under any governor and inspect the session.
+// session_player - run any app or library scenario under any governor and
+// inspect the session.
 //
-//   session_player [app] [governor] [duration_s] [seed] [csv_path]
+//   session_player [workload] [governor] [duration_s] [seed] [csv_path]
 //
-//   app      : facebook | spotify | web_browser | youtube | lineage | pubg
-//              | home | fig1session            (default facebook)
+//   workload : a catalog app (facebook | spotify | web_browser | youtube |
+//              lineage | pubg | home) or any named scenario from the
+//              scenario library (fig1_session, fig1_session_90hz,
+//              social_gaming, spotify_bursty, pubg_hot35, ...; run with an
+//              unknown name to see the full list). Default: facebook.
 //   governor : schedutil | performance | powersave | ondemand | intqos
 //              | next | next_trained           (default schedutil)
-//   next_trained first trains the agent online on the same app, then
+//   next_trained first trains the agent online on the same workload, then
 //   deploys the learned Q-table for the measured session (the paper's
 //   "fully trained" evaluation protocol).
+//
+//   duration_s <= 0 (the default) keeps the scenario's own duration.
 //
 // Prints the session summary and, when csv_path is given, the full 1 s
 // time series for plotting.
@@ -17,8 +23,10 @@
 #include <map>
 #include <string>
 
+#include "common/error.hpp"
 #include "sim/runner.hpp"
-#include "workload/session.hpp"
+#include "sim/scenario.hpp"
+#include "workload/apps.hpp"
 
 namespace {
 
@@ -26,17 +34,23 @@ using namespace nextgov;
 
 void print_usage() {
   std::puts(
-      "usage: session_player [app] [governor] [duration_s] [seed] [csv_path]\n"
-      "  app: facebook spotify web_browser youtube lineage pubg home fig1session\n"
-      "  governor: schedutil performance powersave ondemand intqos next next_trained");
+      "usage: session_player [workload] [governor] [duration_s] [seed] [csv_path]\n"
+      "  workload: facebook spotify web_browser youtube lineage pubg home\n"
+      "            or a scenario name:");
+  for (std::string_view name : sim::scenario_names()) {
+    std::printf("            %.*s\n", static_cast<int>(name.size()), name.data());
+  }
+  std::puts("  governor: schedutil performance powersave ondemand intqos next next_trained");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string app_name = argc > 1 ? argv[1] : "facebook";
+  const std::string workload_name = argc > 1 ? argv[1] : "facebook";
   const std::string gov_name = argc > 2 ? argv[2] : "schedutil";
-  const double duration_s = argc > 3 ? std::atof(argv[3]) : 150.0;
+  // Default 0 = the scenario's own duration (paper session length for
+  // catalog apps, the full session for library scenarios).
+  const double duration_s = argc > 3 ? std::atof(argv[3]) : 0.0;
   const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
   const std::string csv_path = argc > 5 ? argv[5] : "";
 
@@ -54,33 +68,34 @@ int main(int argc, char** argv) {
       {"next", sim::GovernorKind::kNext},
       {"next_trained", sim::GovernorKind::kNext}};
 
-  const bool is_session = app_name == "fig1session";
-  if (!is_session && apps.find(app_name) == apps.end()) {
-    print_usage();
-    return 1;
+  // Any workload resolves to a ScenarioSpec: catalog apps via the per-app
+  // scenario ("fig1session" kept as an alias for the library's
+  // fig1_session), everything else looked up in the scenario library.
+  sim::ScenarioSpec spec;
+  if (const auto app_it = apps.find(workload_name); app_it != apps.end()) {
+    spec = sim::app_scenario(app_it->second);
+  } else {
+    try {
+      spec = sim::scenario(workload_name == "fig1session" ? "fig1_session" : workload_name);
+    } catch (const ConfigError&) {
+      print_usage();
+      return 1;
+    }
   }
   const auto gov_it = governors.find(gov_name);
   if (gov_it == governors.end()) {
     print_usage();
     return 1;
   }
+  if (duration_s > 0.0) spec.duration = SimTime::from_seconds(duration_s);
 
-  sim::ExperimentConfig config;
-  config.governor = gov_it->second;
-  config.duration = SimTime::from_seconds(duration_s);
-  config.seed = seed;
+  sim::ExperimentConfig config = spec.experiment_config(gov_it->second, seed);
 
   sim::TrainingResult training{rl::QTable{9}, false, 0, 0, 0, 0, 0};
   if (gov_name == "next_trained") {
-    sim::TrainingOptions opts;
+    sim::TrainingOptions opts = spec.training_options(sim::TrainingOptions{});
     opts.seed = seed + 1000;
-    if (is_session) {
-      training = sim::train_next_on(
-          [](std::uint64_t s) { return workload::make_fig1_session(s); }, config.next_config,
-          opts);
-    } else {
-      training = sim::train_next(apps.at(app_name), config.next_config, opts);
-    }
+    training = sim::train_next_on(spec.app_factory(), config.next_config, opts);
     std::printf("trained: converged=%d sim=%.0fs wall=%.2fs states=%zu mean_reward=%.3f\n",
                 training.converged ? 1 : 0, training.sim_seconds, training.wall_seconds,
                 training.states_visited, training.final_mean_reward);
@@ -88,16 +103,12 @@ int main(int argc, char** argv) {
   }
 
   sim::RunPlan plan;
-  if (is_session) {
-    plan.add([](std::uint64_t s) { return workload::make_fig1_session(s); }, "fig1session",
-             config);
-  } else {
-    plan.add(apps.at(app_name), config);
-  }
+  plan.add(spec.app_factory(), spec.name, config);
   const sim::SessionResult r = std::move(sim::run_plan(plan).front());
 
-  std::printf("app=%s governor=%s duration=%.0fs seed=%llu\n", r.app.c_str(),
-              r.governor.c_str(), r.duration_s, static_cast<unsigned long long>(seed));
+  std::printf("workload=%s governor=%s duration=%.0fs seed=%llu ambient=%.0fC refresh=%.0fHz\n",
+              r.app.c_str(), r.governor.c_str(), r.duration_s,
+              static_cast<unsigned long long>(seed), spec.ambient.value(), spec.refresh_hz);
   std::printf("  avg power     : %7.3f W (peak %.3f W)\n", r.avg_power_w, r.peak_power_w);
   std::printf("  big CPU temp  : %7.2f C avg, %7.2f C peak\n", r.avg_temp_big_c,
               r.peak_temp_big_c);

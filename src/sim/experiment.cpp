@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <chrono>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "governors/intqos.hpp"
@@ -62,6 +63,7 @@ std::unique_ptr<Engine> make_engine(AppFactory app_factory, const ExperimentConf
   auto meta = make_meta_governor(config, soc);
   EngineConfig engine_config;
   engine_config.ambient = config.ambient;
+  engine_config.refresh_hz = config.refresh_hz;
   engine_config.record_period = config.record_period;
   return std::make_unique<Engine>(std::move(soc), app_factory(config.seed),
                                   make_freq_governor(config.governor), std::move(meta),
@@ -90,6 +92,23 @@ SessionResult summarize(const Engine& engine, std::string app_name, std::string 
   return r;
 }
 
+bool bit_identical(const SessionResult& a, const SessionResult& b) noexcept {
+  if (a.app != b.app || a.governor != b.governor || a.duration_s != b.duration_s ||
+      a.avg_power_w != b.avg_power_w || a.peak_power_w != b.peak_power_w ||
+      a.avg_temp_big_c != b.avg_temp_big_c || a.peak_temp_big_c != b.peak_temp_big_c ||
+      a.avg_temp_device_c != b.avg_temp_device_c ||
+      a.peak_temp_device_c != b.peak_temp_device_c || a.avg_fps != b.avg_fps ||
+      a.energy_j != b.energy_j || a.frames_presented != b.frames_presented ||
+      a.frames_dropped != b.frames_dropped || a.avg_ppdw != b.avg_ppdw ||
+      a.series.size() != b.series.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    if (std::memcmp(&a.series[i], &b.series[i], sizeof(Sample)) != 0) return false;
+  }
+  return true;
+}
+
 SessionResult run_session(AppFactory app_factory, std::string app_name,
                           const ExperimentConfig& config) {
   auto engine = make_engine(std::move(app_factory), config);
@@ -110,6 +129,7 @@ TrainingResult train_next_on(AppFactory app_factory, const core::NextConfig& con
   exp.governor = GovernorKind::kNext;
   exp.seed = options.seed;
   exp.ambient = options.ambient;
+  exp.refresh_hz = options.refresh_hz;
   exp.next_config = config;
   exp.next_mode = core::AgentMode::kTraining;
 

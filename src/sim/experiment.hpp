@@ -37,6 +37,10 @@ struct ExperimentConfig {
   SimTime duration{SimTime::from_seconds(150.0)};
   std::uint64_t seed{1};
   Celsius ambient{Celsius{21.0}};
+  /// Panel refresh rate (EngineConfig::refresh_hz). 60 Hz throughout the
+  /// paper; the scenario library's 90/120 Hz variants raise it. For kNext
+  /// on a high-refresh panel also raise next_config.ppdw_bounds.fps_max.
+  double refresh_hz{60.0};
   SimTime record_period{SimTime::from_seconds(1.0)};
   core::NextConfig next_config{};
   /// For kNext: a trained table to deploy (greedy). Null = untrained.
@@ -82,6 +86,13 @@ using AppFactory = std::function<std::unique_ptr<workload::App>(std::uint64_t se
 [[nodiscard]] SessionResult summarize(const Engine& engine, std::string app_name,
                                       std::string governor_name);
 
+/// True when two results are bit-identical in every summary field and the
+/// whole recorded series (Sample is all-double, so memcmp equality is
+/// exactly bitwise equality per sample). This is the comparator behind the
+/// runner's determinism contract; perf_throughput, scenario_matrix and the
+/// scenario property tests all check the *same* predicate.
+[[nodiscard]] bool bit_identical(const SessionResult& a, const SessionResult& b) noexcept;
+
 // --- training (Section IV-B/C) -------------------------------------------
 
 struct TrainingOptions {
@@ -89,6 +100,9 @@ struct TrainingOptions {
   SimTime episode_length{SimTime::from_seconds(60.0)};  ///< app restart cadence
   std::uint64_t seed{99};
   Celsius ambient{Celsius{21.0}};
+  /// Panel refresh rate the agent trains against (scenario variants train
+  /// at 90/120 Hz; the paper trains at 60).
+  double refresh_hz{60.0};
   /// true: end training the moment the convergence detector fires (the
   /// paper's measured "training time", Fig. 6). false: keep refining until
   /// max_duration (the "fully trained" tables used in the evaluation).

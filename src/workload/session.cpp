@@ -16,6 +16,18 @@ SessionApp::SessionApp(std::vector<SessionSegment> segments, std::uint64_t seed)
   segment_end_ = segments_.front().duration;
 }
 
+SessionApp::SessionApp(std::vector<SessionSegment> segments,
+                       std::vector<std::unique_ptr<PhasedApp>> apps)
+    : segments_{std::move(segments)}, apps_{std::move(apps)}, segment_end_{SimTime::zero()} {
+  require(!segments_.empty(), "session needs at least one segment");
+  require(segments_.size() == apps_.size(), "session needs one app per segment");
+  for (const auto& seg : segments_) {
+    require(seg.duration.us() > 0, "session segment duration must be positive");
+  }
+  for (const auto& app : apps_) require(app != nullptr, "session segment app must not be null");
+  segment_end_ = segments_.front().duration;
+}
+
 void SessionApp::maybe_advance(SimTime now) {
   while (current_ + 1 < segments_.size() && now >= segment_end_) {
     ++current_;

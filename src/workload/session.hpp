@@ -24,6 +24,13 @@ class SessionApp final : public App {
  public:
   SessionApp(std::vector<SessionSegment> segments, std::uint64_t seed);
 
+  /// Builds a session from pre-constructed apps, one per segment, in
+  /// segment order. For callers that customize the per-app AppSpec before
+  /// instantiation (the scenario library's user-model overrides); the plain
+  /// constructor covers catalog apps.
+  SessionApp(std::vector<SessionSegment> segments,
+             std::vector<std::unique_ptr<PhasedApp>> apps);
+
   void update(SimTime now, SimTime dt) override;
   [[nodiscard]] bool wants_frame(SimTime now) override;
   [[nodiscard]] render::FrameJob begin_frame(SimTime now) override;
