@@ -2,12 +2,14 @@
 // inspect the session.
 //
 //   session_player [workload] [governor] [duration_s] [seed] [csv_path]
+//   session_player --list
 //
+//   --list   : print every library scenario with a one-line description.
 //   workload : a catalog app (facebook | spotify | web_browser | youtube |
 //              lineage | pubg | home) or any named scenario from the
 //              scenario library (fig1_session, fig1_session_90hz,
-//              social_gaming, spotify_bursty, pubg_hot35, ...; run with an
-//              unknown name to see the full list). Default: facebook.
+//              social_gaming, spotify_bursty, pubg_hot35, ...; see
+//              --list). Default: facebook.
 //   governor : schedutil | performance | powersave | ondemand | intqos
 //              | next | next_trained           (default schedutil)
 //   next_trained first trains the agent online on the same workload, then
@@ -32,21 +34,33 @@ namespace {
 
 using namespace nextgov;
 
+void print_scenario_list() {
+  std::puts("library scenarios:");
+  for (std::string_view name : sim::scenario_names()) {
+    const std::string_view desc = sim::scenario_description(name);
+    std::printf("  %-20.*s %.*s\n", static_cast<int>(name.size()), name.data(),
+                static_cast<int>(desc.size()), desc.data());
+  }
+}
+
 void print_usage() {
   std::puts(
       "usage: session_player [workload] [governor] [duration_s] [seed] [csv_path]\n"
+      "       session_player --list\n"
       "  workload: facebook spotify web_browser youtube lineage pubg home\n"
-      "            or a scenario name:");
-  for (std::string_view name : sim::scenario_names()) {
-    std::printf("            %.*s\n", static_cast<int>(name.size()), name.data());
-  }
-  std::puts("  governor: schedutil performance powersave ondemand intqos next next_trained");
+      "            or a library scenario (see below)\n"
+      "  governor: schedutil performance powersave ondemand intqos next next_trained");
+  print_scenario_list();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string workload_name = argc > 1 ? argv[1] : "facebook";
+  if (workload_name == "--list" || workload_name == "-l") {
+    print_scenario_list();
+    return 0;
+  }
   const std::string gov_name = argc > 2 ? argv[2] : "schedutil";
   // Default 0 = the scenario's own duration (paper session length for
   // catalog apps, the full session for library scenarios).

@@ -180,7 +180,7 @@ void Engine::record_if_due() {
   recorder_.add(s);
 }
 
-void Engine::step() {
+void Engine::step_pre_thermal() {
   // 1. app behaviour advances.
   app_->update(now_, config_.step);
 
@@ -190,7 +190,7 @@ void Engine::step() {
   totals_.frames_presented += pr.frames_presented;
   totals_.frames_dropped += pr.frames_dropped;
 
-  // 3. utilization -> power.
+  // 3. utilization -> power, injected into the network for the solve.
   update_loads(pr);
   auto& net = thermal_.network;
   Watts soc_power{0.0};
@@ -202,12 +202,11 @@ void Engine::step() {
   }
   const auto& device = soc_.device_power();
   device_power_ = soc_power + device.display + device.rest_of_device;
-
-  // 4. heat flows.
   net.set_power(thermal_.nodes.skin, device.display);
   net.set_power(thermal_.nodes.soc_board, device.rest_of_device);
-  net.step(config_.step);
+}
 
+void Engine::step_post_thermal() {
   now_ += config_.step;
 
   // 5. sensors + governor stack.
@@ -221,6 +220,13 @@ void Engine::step() {
   totals_.temp_device_c.add(obs_.sensors.device.value());
   totals_.energy_j += device_power_.value() * config_.step.seconds();
   record_if_due();
+}
+
+void Engine::step() {
+  step_pre_thermal();
+  // 4. heat flows.
+  thermal_.network.step(config_.step);
+  step_post_thermal();
 }
 
 void Engine::run(SimTime duration) {

@@ -76,12 +76,26 @@ class Engine {
   /// Executes exactly one engine step.
   void step();
 
+  /// Batched stepping entry point. step() is exactly
+  ///   step_pre_thermal(); thermal().step(config().step); step_post_thermal();
+  /// External drivers that solve the thermal network out of the engine
+  /// (sim::BatchRunner via thermal::RcBatch) call the pre phase on every
+  /// engine of a batch, advance the shared SoA batch once, scatter each
+  /// session's temperatures back through the mutable thermal() accessor,
+  /// then run the post phase - bit-identical to per-engine step() because
+  /// the batch reproduces RcNetwork::step() per session exactly.
+  void step_pre_thermal();
+  void step_post_thermal();
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] soc::Soc& soc() noexcept { return soc_; }
   [[nodiscard]] const soc::Soc& soc() const noexcept { return soc_; }
   [[nodiscard]] workload::App& app() noexcept { return *app_; }
   [[nodiscard]] governors::MetaGovernor* meta() noexcept { return meta_gov_.get(); }
   [[nodiscard]] const thermal::RcNetwork& thermal() const noexcept { return thermal_.network; }
+  /// Mutable network access for the batched stepping path (temperature
+  /// scatter after a shared RcBatch step).
+  [[nodiscard]] thermal::RcNetwork& thermal() noexcept { return thermal_.network; }
   [[nodiscard]] const render::RenderPipeline& pipeline() const noexcept { return pipeline_; }
   [[nodiscard]] const Recorder& recorder() const noexcept { return recorder_; }
   [[nodiscard]] Recorder& recorder() noexcept { return recorder_; }

@@ -122,9 +122,9 @@ SessionResult run_app_session(workload::AppId app, const ExperimentConfig& confi
       std::string{workload::to_string(app)}, config);
 }
 
-TrainingResult train_next_on(AppFactory app_factory, const core::NextConfig& config,
-                             const TrainingOptions& options) {
-  require(static_cast<bool>(app_factory), "train_next_on needs an app factory");
+std::unique_ptr<Engine> make_training_engine(const AppFactory& app_factory,
+                                             const core::NextConfig& config,
+                                             const TrainingOptions& options) {
   ExperimentConfig exp;
   exp.governor = GovernorKind::kNext;
   exp.seed = options.seed;
@@ -134,50 +134,64 @@ TrainingResult train_next_on(AppFactory app_factory, const core::NextConfig& con
   exp.next_mode = core::AgentMode::kTraining;
 
   auto engine = make_engine(app_factory, exp);
-  auto* agent = dynamic_cast<core::NextAgent*>(engine->meta());
-  NEXTGOV_ASSERT(agent != nullptr);
   if (options.initial_table != nullptr) {
     // Warm start (federated merge rounds): resume learning from the given
     // aggregate instead of a cold table. Mode stays kTraining.
+    auto* agent = dynamic_cast<core::NextAgent*>(engine->meta());
+    NEXTGOV_ASSERT(agent != nullptr);
     agent->set_q_table(*options.initial_table);
   }
+  return engine;
+}
+
+void TrainingConvergence::on_chunk(std::size_t states_now, std::uint64_t decisions,
+                                   double trained_s) noexcept {
+  settled_chunks = (states_now - prev_states <= 1) ? settled_chunks + 1 : 0;
+  prev_states = states_now;
+  // The TD-EMA detector alone is dominated by reward noise and the
+  // epsilon schedule; coverage settling is what actually scales with
+  // the discretization (Fig. 6). Require both a minimum learning
+  // volume and a sustained stop in state discovery.
+  if (!converged && decisions > 2000 && settled_chunks >= kCoverageSettleChunks) {
+    converged = true;
+    sim_seconds_at_convergence = trained_s;
+  }
+}
+
+TrainingResult make_training_result(const core::NextAgent& agent,
+                                    const TrainingConvergence& convergence,
+                                    SimTime trained, double wall_seconds) {
+  return TrainingResult{agent.q_table(), convergence.converged,
+                        convergence.converged ? convergence.sim_seconds_at_convergence
+                                              : trained.seconds(),
+                        wall_seconds, agent.decisions(), agent.mean_reward(),
+                        agent.q_table().state_count()};
+}
+
+TrainingResult train_next_on(AppFactory app_factory, const core::NextConfig& config,
+                             const TrainingOptions& options) {
+  require(static_cast<bool>(app_factory), "train_next_on needs an app factory");
+  auto engine = make_training_engine(app_factory, config, options);
+  auto* agent = dynamic_cast<core::NextAgent*>(engine->meta());
+  NEXTGOV_ASSERT(agent != nullptr);
 
   const auto wall_start = std::chrono::steady_clock::now();
   SimTime trained = SimTime::zero();
   std::uint64_t episode = 0;
-  bool converged = false;
-  double sim_seconds_at_convergence = 0.0;
-  const SimTime check_chunk = SimTime::from_seconds(1.0);
-
-  // Convergence = TD errors settled (agent-side detector) AND the state
-  // space stopped growing: the agent keeps discovering new quantized
-  // states for as long as the discretization is finer, which is exactly
-  // what makes finer FPS quantization train longer (the paper's Fig. 6).
-  std::size_t prev_states = 0;
-  int settled_chunks = 0;
-  constexpr int kCoverageSettleChunks = 45;  // 45 s without real discovery
+  TrainingConvergence convergence;
 
   while (trained < options.max_duration) {
     SimTime episode_left = options.episode_length;
     while (episode_left.us() > 0 && trained < options.max_duration) {
-      const SimTime chunk = std::min(check_chunk, episode_left);
+      const SimTime chunk = std::min(kTrainingCheckChunk, episode_left);
       engine->run(chunk);
       trained += chunk;
       episode_left = episode_left - chunk;
-      const std::size_t states_now = agent->q_table().state_count();
-      settled_chunks = (states_now - prev_states <= 1) ? settled_chunks + 1 : 0;
-      prev_states = states_now;
-      // The TD-EMA detector alone is dominated by reward noise and the
-      // epsilon schedule; coverage settling is what actually scales with
-      // the discretization (Fig. 6). Require both a minimum learning
-      // volume and a sustained stop in state discovery.
-      if (!converged && agent->decisions() > 2000 && settled_chunks >= kCoverageSettleChunks) {
-        converged = true;
-        sim_seconds_at_convergence = trained.seconds();
-      }
-      if (converged && options.stop_at_convergence) break;
+      convergence.on_chunk(agent->q_table().state_count(), agent->decisions(),
+                           trained.seconds());
+      if (convergence.converged && options.stop_at_convergence) break;
     }
-    if (converged && options.stop_at_convergence) break;
+    if (convergence.converged && options.stop_at_convergence) break;
     ++episode;
     // User re-opens the app: fresh app instance + cold thermal state, but
     // the learned Q-table persists (Section IV-B).
@@ -185,12 +199,8 @@ TrainingResult train_next_on(AppFactory app_factory, const core::NextConfig& con
   }
   const auto wall_end = std::chrono::steady_clock::now();
 
-  TrainingResult result{agent->q_table(), converged,
-                        converged ? sim_seconds_at_convergence : trained.seconds(),
-                        std::chrono::duration<double>(wall_end - wall_start).count(),
-                        agent->decisions(), agent->mean_reward(),
-                        agent->q_table().state_count()};
-  return result;
+  return make_training_result(*agent, convergence, trained,
+                              std::chrono::duration<double>(wall_end - wall_start).count());
 }
 
 TrainingResult train_next(workload::AppId app, const core::NextConfig& config,

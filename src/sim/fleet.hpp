@@ -13,7 +13,10 @@
 //     current aggregate (action values and tried masks; visit counts stay
 //     with the aggregate so historical experience is never double-counted
 //     across a shard's devices), with all devices of all shards fanned
-//     out across the runner's shared worker pool (TrainingPlan);
+//     out across the runner's shared worker pool and advanced lock-step
+//     per worker through the SoA thermal batch stepper
+//     (run_training_plan_batched - a round's cells are homogeneous by
+//     construction);
 //   * after each round a shard FedAvg-merges its previous aggregate with
 //     its devices' fresh deltas (visit-weighted);
 //   * shard s uploads to the global server every 1 + (s % sync_spread)

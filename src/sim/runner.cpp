@@ -1,11 +1,16 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
+#include "core/next_agent.hpp"
+#include "thermal/rc_batch.hpp"
 
 namespace nextgov::sim {
 
@@ -140,6 +145,267 @@ std::vector<TrainingResult> run_training_plan(const TrainingPlan& plan,
   results.reserve(plan.size());
   for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
+}
+
+// --- batched (structure-of-arrays) lock-step execution ---------------------
+
+namespace {
+
+/// Engines alive per worker are bounded by this when max_batch is 0: each
+/// holds an app, a soc and a recorder, so an unbounded fleet-sized batch
+/// would trade the SoA win for memory pressure.
+constexpr std::size_t kDefaultMaxBatch = 32;
+
+/// Below this SoA width lock-step batching is pointless: perf_thermal_batch
+/// measures parity (within noise) at 4 sessions and real gains from ~8-16
+/// up, so auto-sizing keeps shares of >= 4 (wash or better, and wider on
+/// bigger plans) and degenerates narrower shares to singleton batches -
+/// the per-session path, with the plan still fanned across the pool. An
+/// explicit max_batch is a request for lock-step batching and is honored
+/// as given.
+constexpr std::size_t kMinAutoBatch = 4;
+
+/// Splits each homogeneity group into lock-step batches: even shares
+/// across the workers, capped at `max_batch` (kDefaultMaxBatch when auto).
+/// Group order (and index order inside a group) is preserved, so batching
+/// never reorders results.
+std::vector<std::vector<std::size_t>> make_batches(
+    const std::vector<std::vector<std::size_t>>& groups, std::size_t workers,
+    std::size_t max_batch) {
+  std::vector<std::vector<std::size_t>> batches;
+  for (const auto& group : groups) {
+    std::size_t size;
+    if (max_batch > 0) {
+      // Explicit width: honored as given (BatchOptions doc), independent
+      // of the worker count.
+      size = std::min(max_batch, group.size());
+    } else {
+      const std::size_t share = (group.size() + workers - 1) / workers;
+      size = std::clamp<std::size_t>(share, 1, kDefaultMaxBatch);
+      if (size < kMinAutoBatch) size = 1;
+    }
+    for (std::size_t at = 0; at < group.size(); at += size) {
+      const std::size_t end = std::min(group.size(), at + size);
+      batches.emplace_back(group.begin() + static_cast<std::ptrdiff_t>(at),
+                           group.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  return batches;
+}
+
+/// True when the built engines can actually share one RcBatch: identical
+/// topology object and identical step. (Grouping keys only see the specs;
+/// this is the ground-truth check against the engines.)
+bool lockstep_compatible(const std::vector<std::unique_ptr<Engine>>& engines) {
+  if (engines.size() < 2) return false;
+  const auto& topo = engines.front()->thermal().topology();
+  const SimTime dt = engines.front()->config().step;
+  for (const auto& e : engines) {
+    if (e->thermal().topology().get() != topo.get() || e->config().step != dt) return false;
+  }
+  return true;
+}
+
+/// Advances every engine by `duration` with the thermal solve batched:
+/// per tick, all pre-phases, one SoA sweep, temperature scatter, all
+/// post-phases. `batch` must already hold each session's state.
+void advance_lockstep(std::vector<std::unique_ptr<Engine>>& engines,
+                      thermal::RcBatch& batch, SimTime duration) {
+  const SimTime dt = engines.front()->config().step;
+  const std::int64_t ticks = (duration.us() + dt.us() - 1) / dt.us();
+  const std::size_t n = engines.size();
+  std::vector<const thermal::RcNetwork*> nets_in;
+  std::vector<thermal::RcNetwork*> nets_out;
+  nets_in.reserve(n);
+  nets_out.reserve(n);
+  for (auto& e : engines) {
+    nets_in.push_back(&e->thermal());
+    nets_out.push_back(&e->thermal());
+  }
+  for (std::int64_t t = 0; t < ticks; ++t) {
+    for (auto& e : engines) e->step_pre_thermal();
+    batch.gather_powers(nets_in);
+    batch.step(dt);
+    batch.scatter_temperatures(nets_out);
+    for (auto& e : engines) e->step_post_thermal();
+  }
+}
+
+/// One evaluation batch: build the group's engines, advance lock-step
+/// (falling back to per-session stepping when the group degenerates), and
+/// summarize into plan-order slots.
+void run_session_batch(const RunPlan& plan, const std::vector<std::size_t>& indices,
+                       std::vector<SessionResult>& results) {
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.reserve(indices.size());
+  for (const std::size_t idx : indices) {
+    const SessionSpec& spec = plan.sessions()[idx];
+    engines.push_back(make_engine(spec.app_factory, spec.config));
+  }
+  const SimTime duration = plan.sessions()[indices.front()].config.duration;
+  if (lockstep_compatible(engines)) {
+    thermal::RcBatch batch{engines.front()->thermal().topology(), engines.size()};
+    for (std::size_t s = 0; s < engines.size(); ++s) {
+      batch.load_state(s, engines[s]->thermal());
+    }
+    advance_lockstep(engines, batch, duration);
+  } else {
+    for (auto& e : engines) e->run(duration);
+  }
+  for (std::size_t s = 0; s < engines.size(); ++s) {
+    const SessionSpec& spec = plan.sessions()[indices[s]];
+    results[indices[s]] =
+        summarize(*engines[s], spec.name, std::string{to_string(spec.config.governor)});
+  }
+}
+
+/// One training batch: the exact train_next_on() control flow (chunked
+/// episodes, convergence bookkeeping, episode resets) applied to a group
+/// of cells lock-step. Grouping guarantees identical (max_duration,
+/// episode_length) and stop_at_convergence unset, so every cell hits the
+/// same chunk and reset boundaries.
+void run_training_batch(const TrainingPlan& plan, const std::vector<std::size_t>& indices,
+                        std::vector<std::optional<TrainingResult>>& slots) {
+  const std::size_t n = indices.size();
+  if (n < 2) {
+    // Singleton batches (early-stopping cells, degenerate shares) go
+    // straight to the per-cell path - no point building an engine here
+    // only to rebuild it inside train_next_on.
+    for (const std::size_t idx : indices) {
+      const TrainingSpec& cell = plan.cells()[idx];
+      slots[idx] = train_next_on(cell.app_factory, cell.config, cell.options);
+    }
+    return;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<core::NextAgent*> agents(n);
+  engines.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TrainingSpec& cell = plan.cells()[indices[i]];
+    engines.push_back(make_training_engine(cell.app_factory, cell.config, cell.options));
+    agents[i] = dynamic_cast<core::NextAgent*>(engines[i]->meta());
+    NEXTGOV_ASSERT(agents[i] != nullptr);
+  }
+  if (!lockstep_compatible(engines)) {
+    // Ground-truth homogeneity failed (an engine with a foreign topology
+    // or step): rare, and the per-cell path is the correct fallback.
+    for (const std::size_t idx : indices) {
+      const TrainingSpec& cell = plan.cells()[idx];
+      slots[idx] = train_next_on(cell.app_factory, cell.config, cell.options);
+    }
+    return;
+  }
+
+  thermal::RcBatch batch{engines.front()->thermal().topology(), n};
+  for (std::size_t s = 0; s < n; ++s) batch.load_state(s, engines[s]->thermal());
+
+  const TrainingOptions& options = plan.cells()[indices.front()].options;
+  SimTime trained = SimTime::zero();
+  std::uint64_t episode = 0;
+  std::vector<TrainingConvergence> convergence(n);
+
+  while (trained < options.max_duration) {
+    SimTime episode_left = options.episode_length;
+    while (episode_left.us() > 0 && trained < options.max_duration) {
+      const SimTime chunk = std::min(kTrainingCheckChunk, episode_left);
+      advance_lockstep(engines, batch, chunk);
+      trained += chunk;
+      episode_left = episode_left - chunk;
+      for (std::size_t i = 0; i < n; ++i) {
+        convergence[i].on_chunk(agents[i]->q_table().state_count(), agents[i]->decisions(),
+                                trained.seconds());
+      }
+    }
+    ++episode;
+    // User re-opens the app (train_next_on semantics): fresh app + cold
+    // thermal state per cell, learned Q-tables persist; the batch re-adopts
+    // the reset temperatures.
+    for (std::size_t i = 0; i < n; ++i) {
+      const TrainingSpec& cell = plan.cells()[indices[i]];
+      engines[i]->reset_session(cell.app_factory(cell.options.seed + episode + 1));
+      batch.load_state(i, engines[i]->thermal());
+    }
+  }
+
+  // The batch's wall time covers all n interleaved cells; attribute an
+  // even share to each so per-cell wall_seconds stays comparable to
+  // run_training_plan's per-cell measurement (consumers sum or rate it).
+  const double wall_per_cell =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count() /
+      static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots[indices[i]] = make_training_result(*agents[i], convergence[i], trained, wall_per_cell);
+  }
+}
+
+/// Groups indices by key in first-appearance order (deterministic for a
+/// given plan regardless of worker count).
+template <typename Key, typename KeyFn>
+std::vector<std::vector<std::size_t>> group_indices(std::size_t n, const KeyFn& key_of) {
+  std::vector<Key> keys;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key key = key_of(i);
+    std::size_t g = 0;
+    while (g < keys.size() && !(keys[g] == key)) ++g;
+    if (g == keys.size()) {
+      keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<SessionResult> BatchRunner::run(const RunPlan& plan) const {
+  std::vector<SessionResult> results(plan.size());
+  if (plan.empty()) return results;
+
+  // Lock-step needs every session of a batch to run the same tick count.
+  const auto groups = group_indices<std::int64_t>(
+      plan.size(), [&](std::size_t i) { return plan.sessions()[i].config.duration.us(); });
+  const std::size_t workers = resolve_workers(options_.workers, plan.size());
+  const auto batches = make_batches(groups, workers, options_.max_batch);
+  run_indexed_tasks(batches.size(), resolve_workers(options_.workers, batches.size()),
+                    [&](std::size_t b) { run_session_batch(plan, batches[b], results); });
+  return results;
+}
+
+std::vector<TrainingResult> BatchRunner::run(const TrainingPlan& plan) const {
+  std::vector<std::optional<TrainingResult>> slots(plan.size());
+  if (!plan.empty()) {
+    // Early-stopping cells have data-dependent control flow, so they can't
+    // share a lock-step clock; a negative key gives each its own singleton
+    // group (distinct keys), which run_training_batch routes to the
+    // per-cell path.
+    std::int64_t next_singleton = -1;
+    const auto groups = group_indices<std::pair<std::int64_t, std::int64_t>>(
+        plan.size(), [&](std::size_t i) {
+          const TrainingOptions& o = plan.cells()[i].options;
+          if (o.stop_at_convergence) return std::pair{std::int64_t{-1}, next_singleton--};
+          return std::pair{o.max_duration.us(), o.episode_length.us()};
+        });
+    const std::size_t workers = resolve_workers(options_.workers, plan.size());
+    const auto batches = make_batches(groups, workers, options_.max_batch);
+    run_indexed_tasks(batches.size(), resolve_workers(options_.workers, batches.size()),
+                      [&](std::size_t b) { run_training_batch(plan, batches[b], slots); });
+  }
+  std::vector<TrainingResult> results;
+  results.reserve(plan.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+std::vector<SessionResult> run_plan_batched(const RunPlan& plan, const BatchOptions& options) {
+  return BatchRunner{options}.run(plan);
+}
+
+std::vector<TrainingResult> run_training_plan_batched(const TrainingPlan& plan,
+                                                      const BatchOptions& options) {
+  return BatchRunner{options}.run(plan);
 }
 
 }  // namespace nextgov::sim

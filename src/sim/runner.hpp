@@ -135,6 +135,54 @@ class TrainingPlan {
 [[nodiscard]] std::vector<TrainingResult> run_training_plan(const TrainingPlan& plan,
                                                             const RunnerOptions& options = {});
 
+// --- batched (structure-of-arrays) lock-step execution ---------------------
+
+struct BatchOptions {
+  /// Worker threads; 0 = one per hardware thread (RunnerOptions semantics).
+  std::size_t workers{0};
+  /// Max sessions one worker advances lock-step in a shared thermal
+  /// RcBatch. 0 = size batches automatically: the plan is split evenly
+  /// across the workers, capped so per-worker engine memory stays bounded,
+  /// and shares too narrow for the SoA sweep to pay (< 4 sessions)
+  /// degenerate to the per-session path. A nonzero value is honored as
+  /// given (lock-step even for narrow batches).
+  std::size_t max_batch{0};
+};
+
+/// Lock-step session advancement over the SoA thermal batch stepper
+/// (thermal/rc_batch.hpp). Where run_plan()/run_training_plan() give every
+/// worker one whole session at a time, the BatchRunner gives every worker a
+/// *group* of homogeneous-topology sessions and advances them tick by tick
+/// through one shared RcBatch: engine pre-phases, one vectorized thermal
+/// sweep, engine post-phases. Results are bit-identical to run_plan()/
+/// run_training_plan() (and therefore to serial execution) because the
+/// batch reproduces each session's per-step arithmetic exactly - asserted
+/// by tests/sim/runner_test.cpp and the perf_thermal_batch bench.
+///
+/// Grouping requires lock-step compatibility: run plans group by duration,
+/// training plans by (max_duration, episode_length) with
+/// stop_at_convergence unset (early-stopping cells have data-dependent
+/// control flow). Cells that don't fit a group - or whose engines turn out
+/// to use a different topology or step - fall back to the existing
+/// per-session path. A ScenarioMatrix sweeps batched by expanding it first:
+/// run_plan_batched(matrix.to_run_plan(governor)).
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {}) : options_{options} {}
+
+  [[nodiscard]] std::vector<SessionResult> run(const RunPlan& plan) const;
+  [[nodiscard]] std::vector<TrainingResult> run(const TrainingPlan& plan) const;
+
+ private:
+  BatchOptions options_;
+};
+
+/// Convenience wrappers mirroring run_plan()/run_training_plan().
+[[nodiscard]] std::vector<SessionResult> run_plan_batched(const RunPlan& plan,
+                                                          const BatchOptions& options = {});
+[[nodiscard]] std::vector<TrainingResult> run_training_plan_batched(
+    const TrainingPlan& plan, const BatchOptions& options = {});
+
 /// Stateless SplitMix64-style seed derivation for grid sweeps: gives every
 /// (base, index) pair an independent, reproducible stream. Used by
 /// add_grid()/add_seed_sweep() callers that want per-cell seeds from one

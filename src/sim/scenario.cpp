@@ -249,6 +249,7 @@ using ScenarioFactory = ScenarioSpec (*)();
 
 struct LibraryEntry {
   std::string_view name;
+  std::string_view description;
   ScenarioFactory make;
 };
 
@@ -256,18 +257,30 @@ constexpr std::size_t kLibrarySize = 12;
 
 const std::array<LibraryEntry, kLibrarySize>& library() {
   static const std::array<LibraryEntry, kLibrarySize> kLibrary{{
-      {"fig1_session", +[] { return fig1_session_spec(); }},
-      {"fig1_session_90hz", +[] { return fig1_variant("fig1_session_90hz", 90.0, 21.0); }},
-      {"fig1_session_120hz", +[] { return fig1_variant("fig1_session_120hz", 120.0, 21.0); }},
-      {"fig1_session_15c", +[] { return fig1_variant("fig1_session_15c", 60.0, 15.0); }},
-      {"fig1_session_25c", +[] { return fig1_variant("fig1_session_25c", 60.0, 25.0); }},
-      {"fig1_session_35c", +[] { return fig1_variant("fig1_session_35c", 60.0, 35.0); }},
-      {"social_gaming", +[] { return social_gaming_spec(); }},
-      {"commute_media", +[] { return commute_media_spec(); }},
-      {"binge_watch", +[] { return binge_watch_spec(); }},
-      {"spotify_bursty", +[] { return spotify_bursty_spec(); }},
-      {"pubg_hot35", +[] { return pubg_hot35_spec(); }},
-      {"lineage_120hz", +[] { return lineage_120hz_spec(); }},
+      {"fig1_session", "the paper's Fig. 1 walk: home -> Facebook -> Spotify at 60 Hz, 21 C",
+       +[] { return fig1_session_spec(); }},
+      {"fig1_session_90hz", "Fig. 1 session on a 90 Hz panel",
+       +[] { return fig1_variant("fig1_session_90hz", 90.0, 21.0); }},
+      {"fig1_session_120hz", "Fig. 1 session on a 120 Hz panel",
+       +[] { return fig1_variant("fig1_session_120hz", 120.0, 21.0); }},
+      {"fig1_session_15c", "Fig. 1 session in a 15 C room (Section V's lower ambient)",
+       +[] { return fig1_variant("fig1_session_15c", 60.0, 15.0); }},
+      {"fig1_session_25c", "Fig. 1 session in a 25 C room",
+       +[] { return fig1_variant("fig1_session_25c", 60.0, 25.0); }},
+      {"fig1_session_35c", "Fig. 1 session in a 35 C room (Section V's upper ambient)",
+       +[] { return fig1_variant("fig1_session_35c", 60.0, 35.0); }},
+      {"social_gaming", "a gaming break inside a social session (thermal ramp + cool-down)",
+       +[] { return social_gaming_spec(); }},
+      {"commute_media", "browse, long video, then screen-off-style music (Fig. 1 waste case)",
+       +[] { return commute_media_spec(); }},
+      {"binge_watch", "YouTube with an almost fully passive user (user-model override)",
+       +[] { return binge_watch_spec(); }},
+      {"spotify_bursty", "Spotify plus periodic heavy background bursts at near-zero FPS",
+       +[] { return spotify_bursty_spec(); }},
+      {"pubg_hot35", "sustained heavy game in a 35 C room (emergency-throttle stress)",
+       +[] { return pubg_hot35_spec(); }},
+      {"lineage_120hz", "heavy game on a 120 Hz panel (doubled VSync ceiling)",
+       +[] { return lineage_120hz_spec(); }},
   }};
   return kLibrary;
 }
@@ -281,6 +294,13 @@ std::span<const std::string_view> scenario_names() {
     return names;
   }();
   return kNames;
+}
+
+std::string_view scenario_description(std::string_view name) {
+  for (const auto& entry : library()) {
+    if (entry.name == name) return entry.description;
+  }
+  throw ConfigError("unknown scenario '" + std::string{name} + "'");
 }
 
 ScenarioSpec scenario(std::string_view name) {

@@ -109,6 +109,10 @@ struct ScenarioSpec {
 /// names (listing the library).
 [[nodiscard]] ScenarioSpec scenario(std::string_view name);
 
+/// One-line human description of a library scenario (what session_player
+/// --list prints); throws ConfigError for unknown names.
+[[nodiscard]] std::string_view scenario_description(std::string_view name);
+
 /// Single-app scenario at the paper's session length for the app (games
 /// 5 min, others 150 s), 60 Hz, 21 C. The figure benches' per-app sweeps
 /// build on this.

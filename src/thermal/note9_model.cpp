@@ -2,28 +2,39 @@
 
 namespace nextgov::thermal {
 
-Note9Thermal make_note9_thermal(Celsius ambient) {
-  RcNetwork net{ambient};
-  Note9Nodes n{};
+const std::shared_ptr<const RcTopology>& note9_topology() {
   // Capacities [J/K]: junction nodes are small (fast, seconds-scale), the
   // chassis and battery hold most of the 201 g device's heat mass and warm
   // over minutes - which is why the paper's 5-minute game sessions reach
   // much higher peaks than the 1.5-3 minute app sessions.
-  n.big = net.add_node("big", 1.0);
-  n.little = net.add_node("little", 0.8);
-  n.gpu = net.add_node("gpu", 1.4);
-  n.soc_board = net.add_node("soc_board", 14.0);
-  n.battery = net.add_node("battery", 60.0, /*g_ambient=*/0.12);
-  n.skin = net.add_node("skin", 90.0, /*g_ambient=*/0.42);
   // Conductances [W/K]: junction-to-board paths are the dominant thermal
   // resistances (they set the hotspot delta the big cluster shows under
   // load); board-to-skin and skin-to-ambient set the session-scale warmup.
-  net.connect(n.big, n.soc_board, 0.11);
-  net.connect(n.little, n.soc_board, 0.30);
-  net.connect(n.gpu, n.soc_board, 0.14);
-  net.connect(n.soc_board, n.skin, 0.22);
-  net.connect(n.soc_board, n.battery, 0.20);
-  net.connect(n.battery, n.skin, 0.35);
+  // Node order fixes the Note9Nodes ids: big, little, gpu, soc_board,
+  // battery, skin.
+  static const std::shared_ptr<const RcTopology> kTopology = RcTopology::make(
+      {
+          {"big", 1.0, 0.0},
+          {"little", 0.8, 0.0},
+          {"gpu", 1.4, 0.0},
+          {"soc_board", 14.0, 0.0},
+          {"battery", 60.0, /*g_ambient=*/0.12},
+          {"skin", 90.0, /*g_ambient=*/0.42},
+      },
+      {
+          {/*big*/ 0, /*soc_board*/ 3, 0.11},
+          {/*little*/ 1, /*soc_board*/ 3, 0.30},
+          {/*gpu*/ 2, /*soc_board*/ 3, 0.14},
+          {/*soc_board*/ 3, /*skin*/ 5, 0.22},
+          {/*soc_board*/ 3, /*battery*/ 4, 0.20},
+          {/*battery*/ 4, /*skin*/ 5, 0.35},
+      });
+  return kTopology;
+}
+
+Note9Thermal make_note9_thermal(Celsius ambient) {
+  RcNetwork net{note9_topology(), ambient};
+  const Note9Nodes n{.big = 0, .little = 1, .gpu = 2, .soc_board = 3, .battery = 4, .skin = 5};
   return Note9Thermal{std::move(net), n};
 }
 

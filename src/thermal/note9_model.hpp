@@ -8,7 +8,16 @@
 //   - a mixed social-app session under schedutil averages ~50 C on big,
 //   - a sustained heavy game under schedutil pushes big into the 70-85 C
 //     range, matching the envelopes visible in the paper's Figs. 3/8.
+//
+// The solver structure (CSR layout, stability bound, steady-state system)
+// is built exactly once per process: note9_topology() returns the shared
+// ref-counted RcTopology and every engine's RcNetwork is a per-session
+// state view over it. That shared pointer is also the homogeneity key the
+// batched stepping path (thermal/rc_batch.hpp, sim::BatchRunner) groups
+// sessions by.
 #pragma once
+
+#include <memory>
 
 #include "common/units.hpp"
 #include "thermal/rc_network.hpp"
@@ -30,7 +39,11 @@ struct Note9Thermal {
   Note9Nodes nodes;
 };
 
-/// Builds the network with all nodes at `ambient` (paper: 21 C controlled).
+/// The process-wide shared Note 9 solver structure (built on first use).
+[[nodiscard]] const std::shared_ptr<const RcTopology>& note9_topology();
+
+/// Builds a session state view over note9_topology() with all nodes at
+/// `ambient` (paper: 21 C controlled).
 [[nodiscard]] Note9Thermal make_note9_thermal(Celsius ambient);
 
 }  // namespace nextgov::thermal

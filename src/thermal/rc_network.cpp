@@ -2,54 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace nextgov::thermal {
 
-RcNetwork::RcNetwork(Celsius ambient) : ambient_{ambient} {}
+// --- RcTopology ------------------------------------------------------------
 
-NodeId RcNetwork::add_node(std::string name, double capacity_j_per_k,
-                           double g_ambient_w_per_k) {
-  require(capacity_j_per_k > 0.0, "thermal capacity must be positive");
-  require(g_ambient_w_per_k >= 0.0, "ambient conductance must be non-negative");
-  nodes_.push_back(Node{std::move(name), capacity_j_per_k, g_ambient_w_per_k, ambient_.value(),
-                        0.0});
-  topo_built_ = false;
-  return nodes_.size() - 1;
-}
-
-void RcNetwork::connect(NodeId a, NodeId b, double g_w_per_k) {
-  require(a < nodes_.size() && b < nodes_.size(), "connect: unknown node id");
-  require(a != b, "connect: cannot connect a node to itself");
-  require(g_w_per_k > 0.0, "thermal conductance must be positive");
-  edges_.push_back(Edge{a, b, g_w_per_k});
-  topo_built_ = false;
-}
-
-const std::string& RcNetwork::node_name(NodeId id) const {
-  require(id < nodes_.size(), "unknown node id");
-  return nodes_[id].name;
-}
-
-Celsius RcNetwork::temperature(NodeId id) const {
-  require(id < nodes_.size(), "unknown node id");
-  return Celsius{nodes_[id].temp_c};
-}
-
-void RcNetwork::set_power(NodeId id, Watts p) {
-  require(id < nodes_.size(), "unknown node id");
-  nodes_[id].power_w = p.value();
-}
-
-Watts RcNetwork::power(NodeId id) const {
-  require(id < nodes_.size(), "unknown node id");
-  return Watts{nodes_[id].power_w};
-}
-
-void RcNetwork::ensure_topology() const {
-  if (topo_built_) return;
+RcTopology::RcTopology(std::vector<RcNodeSpec> nodes, std::vector<RcEdgeSpec> edges)
+    : nodes_{std::move(nodes)}, edges_{std::move(edges)} {
   const std::size_t n = nodes_.size();
+  for (const auto& nd : nodes_) {
+    require(nd.capacity > 0.0, "thermal capacity must be positive");
+    require(nd.g_ambient >= 0.0, "ambient conductance must be non-negative");
+  }
+  for (const auto& e : edges_) {
+    require(e.a < n && e.b < n, "connect: unknown node id");
+    require(e.a != e.b, "connect: cannot connect a node to itself");
+    require(e.g > 0.0, "thermal conductance must be positive");
+  }
 
   // Per-node degree -> CSR row pointers (undirected: each edge twice).
   row_ptr_.assign(n + 1, 0);
@@ -71,10 +43,12 @@ void RcNetwork::ensure_topology() const {
   // Per-node conductance sums feed the explicit-Euler stability bound.
   std::vector<double> g_total(n, 0.0);
   inv_cap_.resize(n);
+  g_ambient_.resize(n);
   total_g_ambient_ = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     g_total[i] = nodes_[i].g_ambient;
     inv_cap_[i] = 1.0 / nodes_[i].capacity;
+    g_ambient_[i] = nodes_[i].g_ambient;
     total_g_ambient_ += nodes_[i].g_ambient;
   }
   for (const auto& e : edges_) {
@@ -101,64 +75,163 @@ void RcNetwork::ensure_topology() const {
     dense_a_[e.a * n + e.b] -= e.g;
     dense_a_[e.b * n + e.a] -= e.g;
   }
+}
 
-  flux_.assign(n, 0.0);
+std::shared_ptr<const RcTopology> RcTopology::make(std::vector<RcNodeSpec> nodes,
+                                                   std::vector<RcEdgeSpec> edges) {
+  return std::make_shared<const RcTopology>(std::move(nodes), std::move(edges));
+}
+
+const RcNodeSpec& RcTopology::node(NodeId id) const {
+  require(id < nodes_.size(), "unknown node id");
+  return nodes_[id];
+}
+
+std::size_t RcTopology::substeps_for(double total_s) const noexcept {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(total_s / max_stable_dt_s_)));
+}
+
+// --- RcNetwork -------------------------------------------------------------
+
+RcNetwork::RcNetwork(Celsius ambient) : ambient_{ambient} {}
+
+RcNetwork::RcNetwork(std::shared_ptr<const RcTopology> topology, Celsius ambient)
+    : ambient_{ambient}, topo_{std::move(topology)} {
+  require(topo_ != nullptr, "RcNetwork needs a topology");
+  temp_.assign(topo_->node_count(), ambient_.value());
+  power_.assign(topo_->node_count(), 0.0);
+}
+
+void RcNetwork::begin_mutation() {
+  if (topo_ == nullptr) return;  // already in pending mode
+  pending_nodes_ = topo_->nodes();
+  pending_edges_ = topo_->edges();
+  topo_.reset();
+}
+
+NodeId RcNetwork::add_node(std::string name, double capacity_j_per_k,
+                           double g_ambient_w_per_k) {
+  require(capacity_j_per_k > 0.0, "thermal capacity must be positive");
+  require(g_ambient_w_per_k >= 0.0, "ambient conductance must be non-negative");
+  begin_mutation();
+  pending_nodes_.push_back(RcNodeSpec{std::move(name), capacity_j_per_k, g_ambient_w_per_k});
+  temp_.push_back(ambient_.value());
+  power_.push_back(0.0);
+  return temp_.size() - 1;
+}
+
+void RcNetwork::connect(NodeId a, NodeId b, double g_w_per_k) {
+  require(a < node_count() && b < node_count(), "connect: unknown node id");
+  require(a != b, "connect: cannot connect a node to itself");
+  require(g_w_per_k > 0.0, "thermal conductance must be positive");
+  begin_mutation();
+  pending_edges_.push_back(RcEdgeSpec{a, b, g_w_per_k});
+}
+
+const std::string& RcNetwork::node_name(NodeId id) const {
+  require(id < node_count(), "unknown node id");
+  return topo_ != nullptr ? topo_->node(id).name : pending_nodes_[id].name;
+}
+
+Celsius RcNetwork::temperature(NodeId id) const {
+  require(id < node_count(), "unknown node id");
+  return Celsius{temp_[id]};
+}
+
+void RcNetwork::set_power(NodeId id, Watts p) {
+  require(id < node_count(), "unknown node id");
+  power_[id] = p.value();
+}
+
+Watts RcNetwork::power(NodeId id) const {
+  require(id < node_count(), "unknown node id");
+  return Watts{power_[id]};
+}
+
+void RcNetwork::ensure_topology() const {
+  if (topo_ != nullptr) return;
+  topo_ = RcTopology::make(std::move(pending_nodes_), std::move(pending_edges_));
+  pending_nodes_.clear();
+  pending_edges_.clear();
+  flux_.assign(topo_->node_count(), 0.0);
   cached_dt_us_ = -1;  // sub-step count depends on the stability bound
-  topo_built_ = true;
+}
+
+const std::shared_ptr<const RcTopology>& RcNetwork::topology() const {
+  ensure_topology();
+  return topo_;
 }
 
 double RcNetwork::max_stable_dt_seconds() const noexcept {
   ensure_topology();
-  return max_stable_dt_s_;
+  return topo_->max_stable_dt_seconds();
 }
 
 void RcNetwork::euler_substep(double dt_s) noexcept {
-  const std::size_t n = nodes_.size();
+  const RcTopology& t = *topo_;
+  const std::size_t n = temp_.size();
   const double amb = ambient_.value();
+  const std::uint32_t* const row_ptr = t.row_ptr().data();
+  const std::uint32_t* const nbr_node = t.nbr_node().data();
+  const double* const nbr_g = t.nbr_g().data();
+  const double* const g_amb = t.g_ambient().data();
+  const double* const inv_cap = t.inv_cap().data();
+  const double* const power = power_.data();
+  double* const temp = temp_.data();
+  double* const flux = flux_.data();
   for (std::size_t i = 0; i < n; ++i) {
-    const Node& nd = nodes_[i];
-    double f = nd.power_w + nd.g_ambient * (amb - nd.temp_c);
-    const std::uint32_t end = row_ptr_[i + 1];
-    for (std::uint32_t k = row_ptr_[i]; k < end; ++k) {
-      f += nbr_g_[k] * (nodes_[nbr_node_[k]].temp_c - nd.temp_c);
+    double f = power[i] + g_amb[i] * (amb - temp[i]);
+    const std::uint32_t end = row_ptr[i + 1];
+    for (std::uint32_t k = row_ptr[i]; k < end; ++k) {
+      f += nbr_g[k] * (temp[nbr_node[k]] - temp[i]);
     }
-    flux_[i] = f;
+    flux[i] = f;
   }
   for (std::size_t i = 0; i < n; ++i) {
-    nodes_[i].temp_c += dt_s * flux_[i] * inv_cap_[i];
+    temp[i] += dt_s * flux[i] * inv_cap[i];
   }
 }
 
 void RcNetwork::step(SimTime dt) {
   NEXTGOV_ASSERT(dt.us() >= 0);
-  if (nodes_.empty() || dt.us() == 0) return;
+  if (temp_.empty() || dt.us() == 0) return;
   ensure_topology();
   if (dt.us() != cached_dt_us_) {
     const double total_s = dt.seconds();
-    cached_substeps_ = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::ceil(total_s / max_stable_dt_s_)));
+    cached_substeps_ = topo_->substeps_for(total_s);
     cached_dt_sub_s_ = total_s / static_cast<double>(cached_substeps_);
     cached_dt_us_ = dt.us();
   }
+  if (flux_.size() != temp_.size()) flux_.assign(temp_.size(), 0.0);
   for (std::size_t k = 0; k < cached_substeps_; ++k) euler_substep(cached_dt_sub_s_);
 }
 
 void RcNetwork::set_all_temperatures(Celsius t) noexcept {
-  for (auto& n : nodes_) n.temp_c = t.value();
+  std::fill(temp_.begin(), temp_.end(), t.value());
+}
+
+void RcNetwork::set_temperatures_raw(std::span<const double> temps) {
+  require(temps.size() == temp_.size(), "set_temperatures_raw: size mismatch");
+  std::copy(temps.begin(), temps.end(), temp_.begin());
 }
 
 std::vector<Celsius> RcNetwork::steady_state() const {
   // Solve A * T = b where A is the cached pristine system and
   // b = P + G_amb * T_amb.
-  const std::size_t n = nodes_.size();
+  const std::size_t n = node_count();
   require(n > 0, "steady_state of empty network");
   ensure_topology();
-  require(total_g_ambient_ > 0.0, "network has no path to ambient; no steady state exists");
+  require(topo_->total_g_ambient() > 0.0,
+          "network has no path to ambient; no steady state exists");
 
-  ss_a_ = dense_a_;  // elimination scribbles on the matrix; keep the original
+  // Elimination scribbles on the matrix; keep the topology's original.
+  const std::span<const double> dense = topo_->dense_system();
+  ss_a_.assign(dense.begin(), dense.end());
   ss_b_.resize(n);
+  const std::span<const double> g_amb = topo_->g_ambient();
   for (std::size_t i = 0; i < n; ++i) {
-    ss_b_[i] = nodes_[i].power_w + nodes_[i].g_ambient * ambient_.value();
+    ss_b_[i] = power_[i] + g_amb[i] * ambient_.value();
   }
   auto& a = ss_a_;
   auto& b = ss_b_;

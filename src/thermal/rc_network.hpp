@@ -9,18 +9,31 @@
 // Integrated with forward Euler and automatic sub-stepping so the scheme
 // stays stable (dt_sub < min_i C_i / sum G_i) for any caller-provided step.
 //
-// step() runs once per 1 ms engine tick for every simulated session, so the
-// solver keeps a precomputed view of the topology: a per-node CSR neighbor
-// layout with edge conductances, the per-node conductance sums that bound
-// the stable Euler step, and the sub-step count for the last step size.
-// All of it is rebuilt lazily after add_node()/connect(); steady-state
-// solves reuse a cached pristine copy of the dense conductance system.
+// The solver is split into structure and state:
+//
+//   * RcTopology is the immutable solver structure - the per-node CSR
+//     neighbor layout with edge conductances, the per-node capacitance
+//     inverses, the explicit-Euler stability bound and the pristine dense
+//     steady-state system. It is shared ref-counted
+//     (std::shared_ptr<const RcTopology>) across every session simulating
+//     the same device, so fleet-scale sweeps build the CSR exactly once.
+//   * RcNetwork is a thin per-session state view over a topology: node
+//     temperatures, injected powers, the ambient boundary and the cached
+//     sub-step count for the engine's fixed step. Networks built
+//     incrementally (add_node/connect) own a private topology that is
+//     (re)built lazily; mutating a network that shares its topology copies
+//     the structure first, so sharing never changes another session.
+//   * rc_batch.hpp steps many same-topology sessions in one
+//     structure-of-arrays sweep, bit-identical to per-session step().
+//
 // steady_state() solves the linear system directly (Gaussian elimination,
 // networks are tiny) and is used for calibration and property tests.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,20 +44,95 @@ namespace nextgov::thermal {
 
 using NodeId = std::size_t;
 
-/// Mutable RC network. Build once (add_node/connect), then step().
+/// One node's immutable structural parameters.
+struct RcNodeSpec {
+  std::string name;
+  double capacity;   // J/K
+  double g_ambient;  // W/K to the ambient boundary (0 for internal nodes)
+};
+
+/// One undirected edge's structural parameters.
+struct RcEdgeSpec {
+  NodeId a;
+  NodeId b;
+  double g;  // W/K
+};
+
+/// The immutable, shareable solver structure: node/edge specs plus every
+/// precomputed view the steppers need. Build once (directly or via
+/// RcNetwork's incremental add_node/connect), share across sessions with
+/// std::shared_ptr<const RcTopology>; per-session state lives in RcNetwork
+/// (or, batched, in RcBatch).
+class RcTopology {
+ public:
+  /// Validates and precomputes; throws ConfigError on invalid parameters
+  /// (non-positive capacity/conductance, unknown ids, self-loops).
+  RcTopology(std::vector<RcNodeSpec> nodes, std::vector<RcEdgeSpec> edges);
+
+  /// Convenience: shared, immutable instance.
+  [[nodiscard]] static std::shared_ptr<const RcTopology> make(std::vector<RcNodeSpec> nodes,
+                                                              std::vector<RcEdgeSpec> edges);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const RcNodeSpec& node(NodeId id) const;
+  [[nodiscard]] const std::vector<RcNodeSpec>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<RcEdgeSpec>& edges() const noexcept { return edges_; }
+
+  // Precomputed views (hot-loop layout): node i's neighbors are
+  // nbr_node()[row_ptr()[i] .. row_ptr()[i+1]) with matching conductances.
+  [[nodiscard]] std::span<const std::uint32_t> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const std::uint32_t> nbr_node() const noexcept { return nbr_node_; }
+  [[nodiscard]] std::span<const double> nbr_g() const noexcept { return nbr_g_; }
+  [[nodiscard]] std::span<const double> inv_cap() const noexcept { return inv_cap_; }
+  [[nodiscard]] std::span<const double> g_ambient() const noexcept { return g_ambient_; }
+  [[nodiscard]] double total_g_ambient() const noexcept { return total_g_ambient_; }
+
+  /// Largest stable explicit-Euler step [s] (half the per-node bound).
+  [[nodiscard]] double max_stable_dt_seconds() const noexcept { return max_stable_dt_s_; }
+  /// Sub-steps needed to advance `total_s` seconds stably.
+  [[nodiscard]] std::size_t substeps_for(double total_s) const noexcept;
+
+  /// Pristine dense steady-state system (row-major n x n): conductance
+  /// Laplacian plus the ambient diagonal. Solvers copy before eliminating.
+  [[nodiscard]] std::span<const double> dense_system() const noexcept { return dense_a_; }
+
+ private:
+  std::vector<RcNodeSpec> nodes_;
+  std::vector<RcEdgeSpec> edges_;
+
+  std::vector<std::uint32_t> row_ptr_;
+  std::vector<std::uint32_t> nbr_node_;
+  std::vector<double> nbr_g_;
+  std::vector<double> inv_cap_;
+  std::vector<double> g_ambient_;
+  double total_g_ambient_{0.0};
+  double max_stable_dt_s_{0.0};
+  std::vector<double> dense_a_;
+};
+
+/// Per-session RC network state over a (possibly shared) RcTopology. Build
+/// once (add_node/connect or the shared-topology constructor), then step().
 class RcNetwork {
  public:
+  /// Empty network for incremental construction (add_node/connect); the
+  /// private topology is built lazily on first use.
   explicit RcNetwork(Celsius ambient);
+
+  /// State view over a shared topology, all nodes at `ambient`. The usual
+  /// way fleet-scale sweeps create sessions: one topology, N states.
+  RcNetwork(std::shared_ptr<const RcTopology> topology, Celsius ambient);
 
   /// Adds a node with heat capacity `capacity_j_per_k`, conductance
   /// `g_ambient_w_per_k` to ambient (0 for internal nodes), initialized at
-  /// the ambient temperature. Returns its id.
+  /// the ambient temperature. Returns its id. Copies a shared topology
+  /// before extending it (other sessions are never affected).
   NodeId add_node(std::string name, double capacity_j_per_k, double g_ambient_w_per_k = 0.0);
 
-  /// Connects two nodes with conductance `g_w_per_k` (> 0).
+  /// Connects two nodes with conductance `g_w_per_k` (> 0). Copy-on-write
+  /// like add_node().
   void connect(NodeId a, NodeId b, double g_w_per_k);
 
-  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return temp_.size(); }
   [[nodiscard]] const std::string& node_name(NodeId id) const;
   [[nodiscard]] Celsius temperature(NodeId id) const;
   [[nodiscard]] Celsius ambient() const noexcept { return ambient_; }
@@ -68,39 +156,37 @@ class RcNetwork {
   /// Largest stable explicit-Euler step for the current topology [s].
   [[nodiscard]] double max_stable_dt_seconds() const noexcept;
 
- private:
-  struct Node {
-    std::string name;
-    double capacity;   // J/K
-    double g_ambient;  // W/K
-    double temp_c;     // current temperature, degrees C
-    double power_w;    // injected heat, W
-  };
-  struct Edge {
-    NodeId a;
-    NodeId b;
-    double g;  // W/K
-  };
+  /// The (lazily built) topology this session's state lives on. Two
+  /// networks batch-step together iff their topology pointers are equal.
+  [[nodiscard]] const std::shared_ptr<const RcTopology>& topology() const;
 
-  /// Rebuilds the CSR layout / stability bound / dense system after a
-  /// topology mutation. Const because the read-only queries
-  /// (max_stable_dt_seconds, steady_state) also need a current view.
+  /// The batch stepper's bulk scatter writes temperatures directly.
+  friend class RcBatch;
+
+  // Raw state views for the batch stepper's gather/scatter (node order).
+  [[nodiscard]] std::span<const double> temperatures_raw() const noexcept { return temp_; }
+  [[nodiscard]] std::span<const double> powers_raw() const noexcept { return power_; }
+  /// Overwrites every node temperature (batch scatter; size must match).
+  void set_temperatures_raw(std::span<const double> temps);
+
+ private:
+  /// (Re)builds the private topology after incremental mutation. Const
+  /// because read-only queries (max_stable_dt_seconds, steady_state) also
+  /// need a current view.
   void ensure_topology() const;
+  /// Copies a built topology's specs into the pending buffers so
+  /// add_node/connect can extend without touching other sessions.
+  void begin_mutation();
   void euler_substep(double dt_s) noexcept;
 
   Celsius ambient_;
-  std::vector<Node> nodes_;
-  std::vector<Edge> edges_;
+  std::vector<double> temp_;   // per node, degrees C
+  std::vector<double> power_;  // per node, injected heat W
 
-  // --- precomputed topology (lazy; invalidated by add_node/connect) ------
-  mutable bool topo_built_{false};
-  mutable std::vector<std::uint32_t> row_ptr_;   // CSR: node i's neighbors are
-  mutable std::vector<std::uint32_t> nbr_node_;  // nbr_node_[row_ptr_[i]..row_ptr_[i+1])
-  mutable std::vector<double> nbr_g_;            // matching edge conductances [W/K]
-  mutable std::vector<double> inv_cap_;          // 1 / C_i [K/J]
-  mutable double total_g_ambient_{0.0};
-  mutable double max_stable_dt_s_{0.0};
-  mutable std::vector<double> dense_a_;  // pristine steady-state system matrix
+  // Null while pending_* hold un-built structural mutations.
+  mutable std::shared_ptr<const RcTopology> topo_;
+  mutable std::vector<RcNodeSpec> pending_nodes_;
+  mutable std::vector<RcEdgeSpec> pending_edges_;
 
   // Sub-step count for the last-seen step size (one engine runs a fixed dt,
   // so this caches the ceil/divide of the stability analysis).
