@@ -165,8 +165,8 @@ int main(int argc, char** argv) {
   }
 
   // --- engine-level batched runner --------------------------------------
-  // One worker on both sides: this isolates the SoA stepping gain from
-  // pool parallelism (perf_throughput already tracks the pool).
+  // One worker on both sides: this isolates the batch-resident stepping
+  // gain from pool parallelism (perf_throughput already tracks the pool).
   const std::size_t engine_sessions = smoke ? 8 : 16;
   const double engine_sim_s = smoke ? 20.0 : 60.0;
   sim::RunPlan plan;
@@ -177,6 +177,10 @@ int main(int argc, char** argv) {
     cfg.seed = sim::derive_seed(1234, i);
     plan.add(i % 2 == 0 ? workload::AppId::kLineage : workload::AppId::kFacebook, cfg);
   }
+
+  // Headline ratio: both sides uninstrumented (the per-phase passes below
+  // carry per-tick clock reads whose overhead differs between the two
+  // paths, so they must not feed the gated number).
   std::vector<sim::SessionResult> serial_results;
   const double plan_serial_s =
       wall_seconds([&] { serial_results = sim::run_plan(plan, {.workers = 1}); });
@@ -192,6 +196,87 @@ int main(int argc, char** argv) {
   std::printf("  engine: %zu sessions x %.0fs, per-session %.2fs, batched %.2fs -> %.2fx, %s\n",
               engine_sessions, engine_sim_s, plan_serial_s, plan_batched_s, engine_speedup,
               engine_identical ? "bit-identical" : "RESULTS DIVERGED");
+
+  // Phase attribution, separately instrumented on both sides. Serial side:
+  // the engines' own phase methods - they compose to exactly Engine::step()
+  // (engine.hpp contract) - timed per phase; batched side: the runner's
+  // phase_timings hook. Per-phase *ratios* are comparable; the absolute
+  // sums run slightly above the headline walls because of the clock reads.
+  sim::BatchPhaseTimings serial_phases;
+  {
+    using Clock = std::chrono::steady_clock;
+    std::size_t session_index = 0;
+    for (const sim::SessionSpec& spec : plan.sessions()) {
+      auto engine = sim::make_engine(spec.app_factory, spec.config);
+      const SimTime dt = engine->config().step;
+      const std::int64_t ticks = (spec.config.duration.us() + dt.us() - 1) / dt.us();
+      Clock::time_point mark;
+      const auto lap = [&](double sim::BatchPhaseTimings::* phase) {
+        const Clock::time_point now = Clock::now();
+        serial_phases.*phase += std::chrono::duration<double>(now - mark).count();
+        mark = now;
+      };
+      for (std::int64_t t = 0; t < ticks; ++t) {
+        mark = Clock::now();
+        engine->step_pre_power();
+        lap(&sim::BatchPhaseTimings::pre_s);
+        engine->apply_power_model();
+        lap(&sim::BatchPhaseTimings::power_s);
+        engine->thermal().step(dt);
+        lap(&sim::BatchPhaseTimings::thermal_s);
+        engine->step_post_observe();
+        lap(&sim::BatchPhaseTimings::observe_s);
+        engine->step_post_meta();
+        engine->step_post_finish();
+        lap(&sim::BatchPhaseTimings::post_s);
+      }
+      serial_phases.ticks += ticks;
+      // The phase decomposition must not drift from step(): gate it into
+      // the same bit-identity check as the runners.
+      engine_identical =
+          engine_identical &&
+          sim::bit_identical(
+              sim::summarize(*engine, spec.name, std::string{to_string(spec.config.governor)}),
+              serial_results[session_index]);
+      ++session_index;
+    }
+  }
+  sim::BatchPhaseTimings batch_phases;
+  (void)sim::run_plan_batched(
+      plan, {.workers = 1, .max_batch = engine_sessions, .phase_timings = &batch_phases});
+
+  struct PhaseRow {
+    const char* name;
+    double serial_s;
+    double batch_s;
+  };
+  const PhaseRow phase_rows[] = {
+      {"pre", serial_phases.pre_s, batch_phases.pre_s},
+      {"power", serial_phases.power_s, batch_phases.power_s},
+      {"thermal", serial_phases.thermal_s, batch_phases.thermal_s},
+      {"observe", serial_phases.observe_s, batch_phases.observe_s},
+      {"post", serial_phases.post_s, batch_phases.post_s},
+      {"scatter", serial_phases.scatter_s, batch_phases.scatter_s},
+  };
+  for (const PhaseRow& row : phase_rows) {
+    const double ratio = row.batch_s > 0.0 ? row.serial_s / row.batch_s : 0.0;
+    std::printf("    phase %-8s serial %7.3fs  batched %7.3fs  ratio %5.2fx\n", row.name,
+                row.serial_s, row.batch_s, ratio);
+  }
+
+  // Regression gate: on hosts with enough cores for timing to mean
+  // anything, a full-size batched run slower than per-session stepping is
+  // a regression of the whole point of the batch-resident pipeline.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool gate_applicable = !smoke && engine_sessions >= 16 && hw >= 4;
+  const bool gate_ok = !gate_applicable || engine_speedup >= 1.0;
+  if (gate_applicable) {
+    std::printf("  ratio gate (>= 1.0x at %zu sessions): %s (%.2fx)\n", engine_sessions,
+                gate_ok ? "ok" : "FAILED", engine_speedup);
+  } else {
+    std::printf("  ratio gate: skipped (%s)\n",
+                smoke ? "smoke mode" : (engine_sessions < 16 ? "< 16 sessions" : "< 4 cores"));
+  }
 
   // --- JSON trajectory file ---------------------------------------------
   const std::string path = out_dir() + "/BENCH_thermal_batch.json";
@@ -225,10 +310,26 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"per_session_wall_s\": %.4f,\n", plan_serial_s);
   std::fprintf(out, "    \"batched_wall_s\": %.4f,\n", plan_batched_s);
   std::fprintf(out, "    \"speedup\": %.3f,\n", engine_speedup);
-  std::fprintf(out, "    \"bit_identical\": %s\n", engine_identical ? "true" : "false");
+  std::fprintf(out, "    \"bit_identical\": %s,\n", engine_identical ? "true" : "false");
+  std::fprintf(out, "    \"phases\": {\n");
+  for (std::size_t i = 0; i < std::size(phase_rows); ++i) {
+    const PhaseRow& row = phase_rows[i];
+    const double ratio = row.batch_s > 0.0 ? row.serial_s / row.batch_s : 0.0;
+    std::fprintf(out,
+                 "      \"%s\": {\"serial_s\": %.4f, \"batched_s\": %.4f, \"ratio\": %.3f}%s\n",
+                 row.name, row.serial_s, row.batch_s, ratio,
+                 i + 1 < std::size(phase_rows) ? "," : "");
+  }
+  std::fprintf(out, "    },\n");
+  if (gate_applicable) {
+    std::fprintf(out, "    \"ratio_gate\": \"%s\"\n", gate_ok ? "ok" : "failed");
+  } else {
+    std::fprintf(out, "    \"ratio_gate\": \"skipped: %s\"\n",
+                 smoke ? "smoke mode" : (engine_sessions < 16 ? "< 16 sessions" : "< 4 cores"));
+  }
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("  -> %s\n\n", path.c_str());
-  return all_identical && engine_identical ? 0 : 1;
+  return all_identical && engine_identical && gate_ok ? 0 : 1;
 }

@@ -6,8 +6,10 @@
 #include "common/error.hpp"
 #include "core/next_agent.hpp"
 #include "core/ppdw.hpp"
+#include "soc/power_batch.hpp"
 #include "soc/power_model.hpp"
 #include "soc/sensors.hpp"
+#include "thermal/rc_batch.hpp"
 
 namespace nextgov::sim {
 
@@ -29,7 +31,7 @@ Engine::Engine(soc::Soc soc, std::unique_ptr<workload::App> app,
   obs_.clusters.resize(soc_.cluster_count());
   soc_.reset();
   for (const auto& c : soc_.clusters()) throttle_ceiling_.push_back(c.opps().size() - 1);
-  next_agent_ = dynamic_cast<const core::NextAgent*>(meta_gov_.get());
+  next_agent_ = dynamic_cast<core::NextAgent*>(meta_gov_.get());
   if (meta_gov_ != nullptr) meta_sample_period_ = meta_gov_->sample_period();
   cluster_node_ = {thermal_.nodes.big, thermal_.nodes.little, thermal_.nodes.gpu};
   rebuild_observation(/*force=*/true);
@@ -123,12 +125,11 @@ void Engine::rebuild_observation(bool force) {
   }
 
   const auto& nodes = thermal_.nodes;
-  const auto& net = thermal_.network;
-  const Celsius t_big = soc::quantize_temperature(net.temperature(nodes.big));
-  const Celsius t_little = soc::quantize_temperature(net.temperature(nodes.little));
-  const Celsius t_gpu = soc::quantize_temperature(net.temperature(nodes.gpu));
-  const Celsius t_batt = soc::quantize_temperature(net.temperature(nodes.battery));
-  const Celsius t_skin = soc::quantize_temperature(net.temperature(nodes.skin));
+  const Celsius t_big = soc::quantize_temperature(Celsius{node_temp(nodes.big)});
+  const Celsius t_little = soc::quantize_temperature(Celsius{node_temp(nodes.little)});
+  const Celsius t_gpu = soc::quantize_temperature(Celsius{node_temp(nodes.gpu)});
+  const Celsius t_batt = soc::quantize_temperature(Celsius{node_temp(nodes.battery)});
+  const Celsius t_skin = soc::quantize_temperature(Celsius{node_temp(nodes.skin)});
   obs_.sensors.big = t_big;
   obs_.sensors.little = t_little;
   obs_.sensors.gpu = t_gpu;
@@ -139,21 +140,9 @@ void Engine::rebuild_observation(bool force) {
   obs_.sensors.power = soc::quantize_power(device_power_);
 }
 
-void Engine::run_governors() {
-  if (meta_gov_ != nullptr) {
-    if (meta_sample_period_.us() > 0 && now_ >= next_meta_sample_) {
-      meta_gov_->on_sample(obs_);
-      next_meta_sample_ = now_ + meta_sample_period_;
-    }
-  }
-  if (now_ >= next_freq_gov_) {
-    freq_gov_->control(obs_, soc_);
-    next_freq_gov_ = now_ + freq_gov_->period();
-  }
-  if (meta_gov_ != nullptr && now_ >= next_meta_) {
-    meta_gov_->control(obs_, soc_);
-    next_meta_ = now_ + meta_gov_->period();
-  }
+double Engine::node_temp(thermal::NodeId id) const noexcept {
+  return batch_ != nullptr ? batch_->temperature_lane(id)[batch_lane_]
+                           : thermal_.network.temperatures_raw()[id];
 }
 
 void Engine::record_if_due() {
@@ -180,7 +169,7 @@ void Engine::record_if_due() {
   recorder_.add(s);
 }
 
-void Engine::step_pre_thermal() {
+void Engine::step_pre_power() {
   // 1. app behaviour advances.
   app_->update(now_, config_.step);
 
@@ -189,9 +178,12 @@ void Engine::step_pre_thermal() {
                                  soc_.gpu().frequency().hz(), *app_);
   totals_.frames_presented += pr.frames_presented;
   totals_.frames_dropped += pr.frames_dropped;
-
-  // 3. utilization -> power, injected into the network for the solve.
   update_loads(pr);
+}
+
+void Engine::apply_power_model() {
+  // 3. utilization -> power, injected into the network for the solve.
+  NEXTGOV_ASSERT(batch_ == nullptr);
   auto& net = thermal_.network;
   Watts soc_power{0.0};
   for (std::size_t i = 0; i < soc_.cluster_count(); ++i) {
@@ -206,12 +198,41 @@ void Engine::step_pre_thermal() {
   net.set_power(thermal_.nodes.soc_board, device.rest_of_device);
 }
 
-void Engine::step_post_thermal() {
+void Engine::step_pre_thermal() {
+  step_pre_power();
+  apply_power_model();
+}
+
+void Engine::step_post_observe() {
   now_ += config_.step;
 
-  // 5. sensors + governor stack.
+  // 5. sensors + sampled stream + kernel governor. The meta governor's
+  // control point is only latched here; running it is its own phase so a
+  // batch driver can sweep a whole group's agents at once.
   rebuild_observation();
-  run_governors();
+  if (meta_gov_ != nullptr) {
+    if (meta_sample_period_.us() > 0 && now_ >= next_meta_sample_) {
+      meta_gov_->on_sample(obs_);
+      next_meta_sample_ = now_ + meta_sample_period_;
+    }
+  }
+  if (now_ >= next_freq_gov_) {
+    freq_gov_->control(obs_, soc_);
+    next_freq_gov_ = now_ + freq_gov_->period();
+  }
+  if (meta_gov_ != nullptr && now_ >= next_meta_) {
+    meta_due_ = true;
+    next_meta_ = now_ + meta_gov_->period();
+  }
+}
+
+void Engine::step_post_meta() {
+  if (!meta_due_) return;
+  meta_due_ = false;
+  meta_gov_->control(obs_, soc_);
+}
+
+void Engine::step_post_finish() {
   apply_thermal_throttle();
 
   // 6. bookkeeping.
@@ -220,6 +241,36 @@ void Engine::step_post_thermal() {
   totals_.temp_device_c.add(obs_.sensors.device.value());
   totals_.energy_j += device_power_.value() * config_.step.seconds();
   record_if_due();
+}
+
+void Engine::step_post_thermal() {
+  step_post_observe();
+  step_post_meta();
+  step_post_finish();
+}
+
+void Engine::attach_thermal_batch(thermal::RcBatch& batch, std::size_t lane) {
+  require(batch_ == nullptr, "engine is already attached to a thermal batch");
+  batch.load_state(lane, thermal_.network);  // validates the shared topology
+  // The serial power phase rewrites the constant non-cluster node powers
+  // every tick; a resident lane receives them once here (same values).
+  const auto& device = soc_.device_power();
+  batch.set_power(lane, thermal_.nodes.skin, device.display);
+  batch.set_power(lane, thermal_.nodes.soc_board, device.rest_of_device);
+  batch_ = &batch;
+  batch_lane_ = lane;
+}
+
+void Engine::detach_thermal_batch() {
+  if (batch_ == nullptr) return;
+  batch_->store_temperatures(batch_lane_, thermal_.network);
+  batch_ = nullptr;
+}
+
+void Engine::push_power_inputs(soc::PowerBatch& batch, std::size_t lane) const {
+  for (std::size_t i = 0; i < soc_.cluster_count(); ++i) {
+    batch.set_input(lane, i, soc_.cluster(i).freq_index(), loads_[i].busy_avg);
+  }
 }
 
 void Engine::step() {
@@ -244,10 +295,12 @@ void Engine::reset_session(std::unique_ptr<workload::App> new_app) {
   app_ = std::move(new_app);
   pipeline_.reset(now_);
   thermal_.network.set_all_temperatures(config_.ambient);
+  if (batch_ != nullptr) batch_->set_all_temperatures(batch_lane_, config_.ambient);
   soc_.reset();
   freq_gov_->reset();
   if (meta_gov_) meta_gov_->reset();
   totals_ = EngineTotals{};
+  meta_due_ = false;
   for (std::size_t i = 0; i < soc_.cluster_count(); ++i) {
     throttle_ceiling_[i] = soc_.cluster(i).opps().size() - 1;
   }

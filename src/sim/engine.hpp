@@ -28,6 +28,12 @@
 namespace nextgov::core {
 class NextAgent;
 }
+namespace nextgov::soc {
+class PowerBatch;
+}
+namespace nextgov::thermal {
+class RcBatch;
+}
 
 namespace nextgov::sim {
 
@@ -76,16 +82,70 @@ class Engine {
   /// Executes exactly one engine step.
   void step();
 
-  /// Batched stepping entry point. step() is exactly
+  /// Batched stepping entry points. step() is exactly
   ///   step_pre_thermal(); thermal().step(config().step); step_post_thermal();
-  /// External drivers that solve the thermal network out of the engine
-  /// (sim::BatchRunner via thermal::RcBatch) call the pre phase on every
-  /// engine of a batch, advance the shared SoA batch once, scatter each
-  /// session's temperatures back through the mutable thermal() accessor,
-  /// then run the post phase - bit-identical to per-engine step() because
-  /// the batch reproduces RcNetwork::step() per session exactly.
+  /// and each of those composes from the finer phases below, so external
+  /// drivers (sim::BatchRunner) can interleave N engines per phase while
+  /// staying bit-identical to per-engine step():
+  ///   step_pre_thermal()  = step_pre_power(); apply_power_model();
+  ///   step_post_thermal() = step_post_observe(); step_post_meta();
+  ///                         step_post_finish();
   void step_pre_thermal();
   void step_post_thermal();
+
+  /// Advances the app/render/load substrates one tick (no thermal or power
+  /// reads - safe whether or not the session is batch-resident).
+  void step_pre_power();
+  /// Evaluates the power model against the engine's own RcNetwork and
+  /// writes node powers back into it. Only valid detached; batch-resident
+  /// sessions evaluate through soc::PowerBatch instead (push_power_inputs
+  /// -> PowerBatch::evaluate -> set_device_power).
+  void apply_power_model();
+  /// Advances the clock, refreshes the observation and runs the sampled
+  /// stream + kernel frequency governor; latches whether the meta governor
+  /// is due this tick (meta_control_due()).
+  void step_post_observe();
+  /// True when step_post_observe() latched a meta-governor control point
+  /// for the current tick. Cleared by step_post_meta() or
+  /// skip_meta_control().
+  [[nodiscard]] bool meta_control_due() const noexcept { return meta_due_; }
+  /// Runs the meta governor's control step if due.
+  void step_post_meta();
+  /// Declares the due meta control handled externally (the batch driver
+  /// runs NextAgent decisions as one group sweep instead).
+  void skip_meta_control() noexcept { meta_due_ = false; }
+  /// Thermal throttle, running totals and the recorder.
+  void step_post_finish();
+
+  /// --- batch residency -------------------------------------------------
+  /// Parks this session's thermal state in `batch` lane `lane` (same
+  /// topology pointer required): temperatures/powers/ambient move into the
+  /// SoA lanes and the constant non-cluster node powers (display on skin,
+  /// rest-of-device on soc_board) are written once - the serial pre phase
+  /// rewrites those same values every tick, so once is equivalent. While
+  /// attached, thermal() is stale; observation and throttle reads go to the
+  /// lanes, and the driver owns the thermal step (RcBatch::step).
+  void attach_thermal_batch(thermal::RcBatch& batch, std::size_t lane);
+  /// Scatters lane temperatures back into the engine's own network and
+  /// resumes self-contained stepping. No-op when detached.
+  void detach_thermal_batch();
+  [[nodiscard]] bool thermal_batch_attached() const noexcept { return batch_ != nullptr; }
+  /// Pushes this tick's per-cluster OPP index + utilization into a
+  /// PowerBatch lane (the batch-resident replacement for
+  /// apply_power_model()'s input side).
+  void push_power_inputs(soc::PowerBatch& batch, std::size_t lane) const;
+  /// Adopts the externally evaluated device power (PowerBatch::device_power)
+  /// that the observation's fuel gauge and energy totals consume.
+  void set_device_power(Watts p) noexcept { device_power_ = p; }
+  /// Thermal node feeding each cluster's junction sensor, in cluster order
+  /// (what PowerBatch lanes must be wired to).
+  [[nodiscard]] const std::array<thermal::NodeId, 3>& cluster_nodes() const noexcept {
+    return cluster_node_;
+  }
+  /// The meta governor as a Next agent, or null when the session runs a
+  /// different (or no) meta governor. Batch drivers use this to route
+  /// control points through core::NextAgent::control_group.
+  [[nodiscard]] core::NextAgent* next_agent() noexcept { return next_agent_; }
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] soc::Soc& soc() noexcept { return soc_; }
@@ -129,9 +189,11 @@ class Engine {
   /// rebuilt every step because the running totals consume it.
   [[nodiscard]] bool observation_consumer_due() const noexcept;
   void update_loads(const render::PipelineStepResult& pr);
-  void run_governors();
   void apply_thermal_throttle();
   void record_if_due();
+  /// Node temperature from wherever the session's thermal state currently
+  /// lives: the attached batch lane, or the engine's own network.
+  [[nodiscard]] double node_temp(thermal::NodeId id) const noexcept;
 
   EngineConfig config_;
   soc::Soc soc_;
@@ -141,10 +203,17 @@ class Engine {
   std::unique_ptr<governors::FreqGovernor> freq_gov_;
   std::unique_ptr<governors::MetaGovernor> meta_gov_;
   /// meta_gov_ downcast once at construction; record_if_due() used to
-  /// dynamic_cast on every sample.
-  const core::NextAgent* next_agent_{nullptr};
+  /// dynamic_cast on every sample, and batch drivers use it to group Next
+  /// control points.
+  core::NextAgent* next_agent_{nullptr};
   /// Thermal node feeding each cluster's junction sensor, in cluster order.
   std::array<thermal::NodeId, 3> cluster_node_{};
+  /// Non-owning: the SoA thermal batch this session is parked in, if any.
+  thermal::RcBatch* batch_{nullptr};
+  std::size_t batch_lane_{0};
+  /// Latched by step_post_observe() when the meta governor's control period
+  /// elapses; consumed by step_post_meta() / skip_meta_control().
+  bool meta_due_{false};
 
   SimTime now_{SimTime::zero()};
   SimTime next_freq_gov_{SimTime::zero()};

@@ -4,12 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/error.hpp"
 #include "core/next_agent.hpp"
+#include "soc/power_batch.hpp"
 #include "thermal/rc_batch.hpp"
 
 namespace nextgov::sim {
@@ -206,36 +208,178 @@ bool lockstep_compatible(const std::vector<std::unique_ptr<Engine>>& engines) {
   return true;
 }
 
-/// Advances every engine by `duration` with the thermal solve batched:
-/// per tick, all pre-phases, one SoA sweep, temperature scatter, all
-/// post-phases. `batch` must already hold each session's state.
-void advance_lockstep(std::vector<std::unique_ptr<Engine>>& engines,
-                      thermal::RcBatch& batch, SimTime duration) {
+/// The per-group SoA state of the batch-resident pipeline: the shared
+/// thermal batch the engines are attached to, the group's power batch, and
+/// the cluster-junction lane pointers wiring the two together.
+struct ResidentPipeline {
+  thermal::RcBatch rc;
+  soc::PowerBatch power;
+  std::vector<const double*> temp_lanes;
+  std::vector<double*> power_lanes;
+};
+
+/// Merges one batch's local phase timings into the shared sink. Locked per
+/// *batch* (not per tick), so the hot loop only pays clock reads.
+std::mutex g_phase_timings_mutex;
+void merge_phase_timings(BatchPhaseTimings* sink, const BatchPhaseTimings& local) {
+  if (sink == nullptr) return;
+  const std::lock_guard<std::mutex> lock{g_phase_timings_mutex};
+  sink->pre_s += local.pre_s;
+  sink->power_s += local.power_s;
+  sink->thermal_s += local.thermal_s;
+  sink->observe_s += local.observe_s;
+  sink->post_s += local.post_s;
+  sink->scatter_s += local.scatter_s;
+  sink->ticks += local.ticks;
+}
+
+/// Builds the group's resident pipeline and parks every engine's thermal
+/// state in it. Returns null - with nothing attached - when the group
+/// can't share one pipeline (heterogeneous topology/step/SoC/junction
+/// wiring), in which case callers fall back to per-session stepping.
+/// Heap-allocated because every engine's batch_ pointer refers to the
+/// pipeline's RcBatch: the address must outlive the attachment.
+std::unique_ptr<ResidentPipeline> make_resident(std::vector<std::unique_ptr<Engine>>& engines) {
+  if (!lockstep_compatible(engines)) return nullptr;
+  Engine& ref = *engines.front();
+  const auto& nodes = ref.cluster_nodes();
+  soc::PowerBatch power{ref.soc(), engines.size()};
+  if (power.cluster_count() != nodes.size()) return nullptr;
+  for (const auto& e : engines) {
+    if (e->cluster_nodes() != nodes || !power.compatible(e->soc())) return nullptr;
+  }
+  auto r = std::make_unique<ResidentPipeline>(ResidentPipeline{
+      thermal::RcBatch{ref.thermal().topology(), engines.size()}, std::move(power), {}, {}});
+  for (const thermal::NodeId node : nodes) {
+    r->temp_lanes.push_back(r->rc.temperature_lane(node));
+    r->power_lanes.push_back(r->rc.power_lane(node));
+  }
+  // Attach last: from here on the lanes hold the live state, so every
+  // earlier bail-out above leaves the engines untouched.
+  for (std::size_t s = 0; s < engines.size(); ++s) {
+    engines[s]->attach_thermal_batch(r->rc, s);
+  }
+  return r;
+}
+
+/// Advances every engine of an attached group by `duration` with the whole
+/// step pipeline batched: per tick, all pre-phases, one [cluster][session]
+/// power sweep straight into the thermal power lanes, one SoA thermal
+/// solve, all observe phases (reading the temperature lanes in place), the
+/// group's due Next control points as one control_group sweep (other meta
+/// governors fall back per session), then all finish phases. Cross-session
+/// phase reordering is free - sessions are independent - and per session
+/// the phase order is exactly step(), so the result is bit-identical to
+/// per-session stepping.
+void advance_resident(std::vector<std::unique_ptr<Engine>>& engines, ResidentPipeline& r,
+                      SimTime duration, BatchPhaseTimings* timings) {
   const SimTime dt = engines.front()->config().step;
   const std::int64_t ticks = (duration.us() + dt.us() - 1) / dt.us();
   const std::size_t n = engines.size();
-  std::vector<const thermal::RcNetwork*> nets_in;
-  std::vector<thermal::RcNetwork*> nets_out;
-  nets_in.reserve(n);
-  nets_out.reserve(n);
-  for (auto& e : engines) {
-    nets_in.push_back(&e->thermal());
-    nets_out.push_back(&e->thermal());
+  std::vector<core::NextAgent*> due_agents;
+  std::vector<const governors::Observation*> due_obs;
+  std::vector<soc::Soc*> due_socs;
+  std::vector<Engine*> due_engines;
+  due_agents.reserve(n);
+  due_obs.reserve(n);
+  due_socs.reserve(n);
+  due_engines.reserve(n);
+
+  // The untimed (production) loop fuses the per-engine phases into two
+  // sweeps per tick - each engine's state is pulled into cache twice, not
+  // five times - around the two group-wide SoA kernels. The group's due
+  // Next agents decide as one control_group sweep; their finish phase is
+  // deferred past that decision, every other engine finishes in the same
+  // pass. Per engine the phase order is exactly step(), so fusing changes
+  // nothing bit-wise.
+  const auto fused_tick = [&] {
+    for (std::size_t s = 0; s < n; ++s) {
+      Engine& e = *engines[s];
+      e.step_pre_power();
+      e.push_power_inputs(r.power, s);
+    }
+    r.power.evaluate(r.temp_lanes, r.power_lanes);
+    r.rc.step(dt);
+    due_agents.clear();
+    due_obs.clear();
+    due_socs.clear();
+    due_engines.clear();
+    for (std::size_t s = 0; s < n; ++s) {
+      Engine& e = *engines[s];
+      e.set_device_power(r.power.device_power(s));
+      e.step_post_observe();
+      if (e.meta_control_due()) {
+        if (core::NextAgent* agent = e.next_agent(); agent != nullptr) {
+          e.skip_meta_control();
+          due_agents.push_back(agent);
+          due_obs.push_back(&e.observation());
+          due_socs.push_back(&e.soc());
+          due_engines.push_back(&e);
+          continue;  // finish runs after the group decision
+        }
+        e.step_post_meta();
+      }
+      e.step_post_finish();
+    }
+    if (!due_agents.empty()) {
+      core::NextAgent::control_group(due_agents, due_obs, due_socs);
+      for (Engine* e : due_engines) e->step_post_finish();
+    }
+  };
+
+  if (timings == nullptr) {
+    for (std::int64_t t = 0; t < ticks; ++t) fused_tick();
+    return;
   }
+
+  // The timed loop keeps the phases in separate sweeps so each lap is
+  // attributable; it is bit-identical to the fused loop (same per-engine
+  // order), just laid out for measurement instead of cache locality.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point mark;
+  const auto lap = [&](double BatchPhaseTimings::* phase) {
+    const Clock::time_point now = Clock::now();
+    timings->*phase += std::chrono::duration<double>(now - mark).count();
+    mark = now;
+  };
   for (std::int64_t t = 0; t < ticks; ++t) {
-    for (auto& e : engines) e->step_pre_thermal();
-    batch.gather_powers(nets_in);
-    batch.step(dt);
-    batch.scatter_temperatures(nets_out);
-    for (auto& e : engines) e->step_post_thermal();
+    mark = Clock::now();
+    for (auto& e : engines) e->step_pre_power();
+    lap(&BatchPhaseTimings::pre_s);
+    for (std::size_t s = 0; s < n; ++s) engines[s]->push_power_inputs(r.power, s);
+    r.power.evaluate(r.temp_lanes, r.power_lanes);
+    for (std::size_t s = 0; s < n; ++s) engines[s]->set_device_power(r.power.device_power(s));
+    lap(&BatchPhaseTimings::power_s);
+    r.rc.step(dt);
+    lap(&BatchPhaseTimings::thermal_s);
+    for (auto& e : engines) e->step_post_observe();
+    lap(&BatchPhaseTimings::observe_s);
+    due_agents.clear();
+    due_obs.clear();
+    due_socs.clear();
+    for (auto& e : engines) {
+      if (!e->meta_control_due()) continue;
+      if (core::NextAgent* agent = e->next_agent(); agent != nullptr) {
+        e->skip_meta_control();
+        due_agents.push_back(agent);
+        due_obs.push_back(&e->observation());
+        due_socs.push_back(&e->soc());
+      } else {
+        e->step_post_meta();
+      }
+    }
+    if (!due_agents.empty()) core::NextAgent::control_group(due_agents, due_obs, due_socs);
+    for (auto& e : engines) e->step_post_finish();
+    lap(&BatchPhaseTimings::post_s);
   }
+  timings->ticks += ticks * static_cast<std::int64_t>(n);
 }
 
 /// One evaluation batch: build the group's engines, advance lock-step
 /// (falling back to per-session stepping when the group degenerates), and
 /// summarize into plan-order slots.
 void run_session_batch(const RunPlan& plan, const std::vector<std::size_t>& indices,
-                       std::vector<SessionResult>& results) {
+                       std::vector<SessionResult>& results, BatchPhaseTimings* timings) {
   std::vector<std::unique_ptr<Engine>> engines;
   engines.reserve(indices.size());
   for (const std::size_t idx : indices) {
@@ -243,12 +387,21 @@ void run_session_batch(const RunPlan& plan, const std::vector<std::size_t>& indi
     engines.push_back(make_engine(spec.app_factory, spec.config));
   }
   const SimTime duration = plan.sessions()[indices.front()].config.duration;
-  if (lockstep_compatible(engines)) {
-    thermal::RcBatch batch{engines.front()->thermal().topology(), engines.size()};
-    for (std::size_t s = 0; s < engines.size(); ++s) {
-      batch.load_state(s, engines[s]->thermal());
+  BatchPhaseTimings local;
+  const bool timed = timings != nullptr;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point mark;
+  if (timed) mark = Clock::now();
+  auto resident = make_resident(engines);
+  if (timed) local.scatter_s += std::chrono::duration<double>(Clock::now() - mark).count();
+  if (resident != nullptr) {
+    advance_resident(engines, *resident, duration, timed ? &local : nullptr);
+    if (timed) mark = Clock::now();
+    for (auto& e : engines) e->detach_thermal_batch();
+    if (timed) {
+      local.scatter_s += std::chrono::duration<double>(Clock::now() - mark).count();
+      merge_phase_timings(timings, local);
     }
-    advance_lockstep(engines, batch, duration);
   } else {
     for (auto& e : engines) e->run(duration);
   }
@@ -265,7 +418,8 @@ void run_session_batch(const RunPlan& plan, const std::vector<std::size_t>& indi
 /// episode_length) and stop_at_convergence unset, so every cell hits the
 /// same chunk and reset boundaries.
 void run_training_batch(const TrainingPlan& plan, const std::vector<std::size_t>& indices,
-                        std::vector<std::optional<TrainingResult>>& slots) {
+                        std::vector<std::optional<TrainingResult>>& slots,
+                        BatchPhaseTimings* timings) {
   const std::size_t n = indices.size();
   if (n < 2) {
     // Singleton batches (early-stopping cells, degenerate shares) go
@@ -287,18 +441,17 @@ void run_training_batch(const TrainingPlan& plan, const std::vector<std::size_t>
     agents[i] = dynamic_cast<core::NextAgent*>(engines[i]->meta());
     NEXTGOV_ASSERT(agents[i] != nullptr);
   }
-  if (!lockstep_compatible(engines)) {
-    // Ground-truth homogeneity failed (an engine with a foreign topology
-    // or step): rare, and the per-cell path is the correct fallback.
+  auto resident = make_resident(engines);
+  if (resident == nullptr) {
+    // Ground-truth homogeneity failed (an engine with a foreign topology,
+    // step or SoC): rare, and the per-cell path is the correct fallback.
     for (const std::size_t idx : indices) {
       const TrainingSpec& cell = plan.cells()[idx];
       slots[idx] = train_next_on(cell.app_factory, cell.config, cell.options);
     }
     return;
   }
-
-  thermal::RcBatch batch{engines.front()->thermal().topology(), n};
-  for (std::size_t s = 0; s < n; ++s) batch.load_state(s, engines[s]->thermal());
+  BatchPhaseTimings local;
 
   const TrainingOptions& options = plan.cells()[indices.front()].options;
   SimTime trained = SimTime::zero();
@@ -309,7 +462,7 @@ void run_training_batch(const TrainingPlan& plan, const std::vector<std::size_t>
     SimTime episode_left = options.episode_length;
     while (episode_left.us() > 0 && trained < options.max_duration) {
       const SimTime chunk = std::min(kTrainingCheckChunk, episode_left);
-      advance_lockstep(engines, batch, chunk);
+      advance_resident(engines, *resident, chunk, timings != nullptr ? &local : nullptr);
       trained += chunk;
       episode_left = episode_left - chunk;
       for (std::size_t i = 0; i < n; ++i) {
@@ -319,14 +472,15 @@ void run_training_batch(const TrainingPlan& plan, const std::vector<std::size_t>
     }
     ++episode;
     // User re-opens the app (train_next_on semantics): fresh app + cold
-    // thermal state per cell, learned Q-tables persist; the batch re-adopts
-    // the reset temperatures.
+    // thermal state per cell, learned Q-tables persist. reset_session is
+    // lane-aware, so the attached batch resets along with the engine.
     for (std::size_t i = 0; i < n; ++i) {
       const TrainingSpec& cell = plan.cells()[indices[i]];
       engines[i]->reset_session(cell.app_factory(cell.options.seed + episode + 1));
-      batch.load_state(i, engines[i]->thermal());
     }
   }
+  for (auto& e : engines) e->detach_thermal_batch();
+  merge_phase_timings(timings, local);
 
   // The batch's wall time covers all n interleaved cells; attribute an
   // even share to each so per-cell wall_seconds stays comparable to
@@ -369,8 +523,9 @@ std::vector<SessionResult> BatchRunner::run(const RunPlan& plan) const {
       plan.size(), [&](std::size_t i) { return plan.sessions()[i].config.duration.us(); });
   const std::size_t workers = resolve_workers(options_.workers, plan.size());
   const auto batches = make_batches(groups, workers, options_.max_batch);
-  run_indexed_tasks(batches.size(), resolve_workers(options_.workers, batches.size()),
-                    [&](std::size_t b) { run_session_batch(plan, batches[b], results); });
+  run_indexed_tasks(
+      batches.size(), resolve_workers(options_.workers, batches.size()),
+      [&](std::size_t b) { run_session_batch(plan, batches[b], results, options_.phase_timings); });
   return results;
 }
 
@@ -391,7 +546,9 @@ std::vector<TrainingResult> BatchRunner::run(const TrainingPlan& plan) const {
     const std::size_t workers = resolve_workers(options_.workers, plan.size());
     const auto batches = make_batches(groups, workers, options_.max_batch);
     run_indexed_tasks(batches.size(), resolve_workers(options_.workers, batches.size()),
-                      [&](std::size_t b) { run_training_batch(plan, batches[b], slots); });
+                      [&](std::size_t b) {
+                        run_training_batch(plan, batches[b], slots, options_.phase_timings);
+                      });
   }
   std::vector<TrainingResult> results;
   results.reserve(plan.size());

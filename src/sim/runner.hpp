@@ -137,6 +137,21 @@ class TrainingPlan {
 
 // --- batched (structure-of-arrays) lock-step execution ---------------------
 
+/// Wall-clock accumulated per phase of the batch-resident lock-step loop,
+/// in seconds, summed over all lock-step batches of a run (batches that
+/// fall back to per-session stepping contribute nothing). The
+/// perf_thermal_batch bench compares these against the same phases timed
+/// around serial stepping to attribute the batch-vs-serial ratio.
+struct BatchPhaseTimings {
+  double pre_s{0.0};      ///< app/render/load pre-phases
+  double power_s{0.0};    ///< PowerBatch input push + [cluster][session] sweep
+  double thermal_s{0.0};  ///< RcBatch SoA solve
+  double observe_s{0.0};  ///< observation refresh + sample + kernel governor
+  double post_s{0.0};     ///< meta control (incl. grouped Q-step) + throttle/totals/record
+  double scatter_s{0.0};  ///< batch entry/exit gather + scatter (boundaries only)
+  std::int64_t ticks{0};  ///< engine-ticks x sessions advanced lock-step
+};
+
 struct BatchOptions {
   /// Worker threads; 0 = one per hardware thread (RunnerOptions semantics).
   std::size_t workers{0};
@@ -147,17 +162,28 @@ struct BatchOptions {
   /// degenerate to the per-session path. A nonzero value is honored as
   /// given (lock-step even for narrow batches).
   std::size_t max_batch{0};
+  /// When set, every lock-step batch accumulates per-phase wall time here
+  /// (merged under a lock once per batch, so the hot loop pays only the
+  /// clock reads). Leave null outside measurement runs.
+  BatchPhaseTimings* phase_timings{nullptr};
 };
 
-/// Lock-step session advancement over the SoA thermal batch stepper
-/// (thermal/rc_batch.hpp). Where run_plan()/run_training_plan() give every
-/// worker one whole session at a time, the BatchRunner gives every worker a
-/// *group* of homogeneous-topology sessions and advances them tick by tick
-/// through one shared RcBatch: engine pre-phases, one vectorized thermal
-/// sweep, engine post-phases. Results are bit-identical to run_plan()/
-/// run_training_plan() (and therefore to serial execution) because the
-/// batch reproduces each session's per-step arithmetic exactly - asserted
-/// by tests/sim/runner_test.cpp and the perf_thermal_batch bench.
+/// Lock-step session advancement over the SoA batch steppers
+/// (thermal/rc_batch.hpp + soc/power_batch.hpp). Where run_plan()/
+/// run_training_plan() give every worker one whole session at a time, the
+/// BatchRunner gives every worker a *group* of homogeneous sessions that
+/// stays *batch-resident* between ticks: each engine parks its thermal
+/// state in an RcBatch lane at batch entry (Engine::attach_thermal_batch),
+/// and every tick runs as phase sweeps across the group - app/render
+/// pre-phases, one [cluster][session] power sweep writing straight into the
+/// thermal power lanes, one SoA thermal solve, observation refresh reading
+/// the temperature lanes in place, and grouped NextAgent control points
+/// (core::NextAgent::control_group). Temperatures scatter back only at
+/// batch exit. Results are bit-identical to run_plan()/run_training_plan()
+/// (and therefore to serial execution) because every sweep reproduces each
+/// session's per-step arithmetic exactly - asserted by
+/// tests/sim/runner_test.cpp, tests/sim/batch_resident_test.cpp and the
+/// perf_thermal_batch bench.
 ///
 /// Grouping requires lock-step compatibility: run plans group by duration,
 /// training plans by (max_duration, episode_length) with

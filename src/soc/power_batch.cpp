@@ -1,0 +1,88 @@
+#include "soc/power_batch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "soc/power_model.hpp"
+
+namespace nextgov::soc {
+
+PowerBatch::PowerBatch(const Soc& reference, std::size_t sessions) : sessions_{sessions} {
+  require(sessions_ > 0, "PowerBatch needs at least one session");
+  require(reference.cluster_count() > 0, "PowerBatch needs at least one cluster");
+  clusters_.reserve(reference.cluster_count());
+  for (const Cluster& c : reference.clusters()) {
+    const std::span<const double> dyn = c.dyn_power_table();
+    const std::span<const double> leak = c.leak_power_table();
+    clusters_.push_back(ClusterTable{{dyn.begin(), dyn.end()},
+                                     {leak.begin(), leak.end()},
+                                     c.power_params().leak_temp_beta});
+  }
+  display_w_ = reference.device_power().display.value();
+  rest_of_device_w_ = reference.device_power().rest_of_device.value();
+  const std::size_t cells = clusters_.size() * sessions_;
+  freq_idx_.assign(cells, 0);
+  busy_avg_.assign(cells, 0.0);
+  soc_total_w_.assign(sessions_, 0.0);
+  device_power_.assign(sessions_, 0.0);
+}
+
+bool PowerBatch::compatible(const Soc& soc) const noexcept {
+  if (soc.cluster_count() != clusters_.size()) return false;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterTable& t = clusters_[c];
+    const std::span<const double> dyn = soc.cluster(c).dyn_power_table();
+    const std::span<const double> leak = soc.cluster(c).leak_power_table();
+    if (dyn.size() != t.dyn_w.size() || leak.size() != t.leak_w.size()) return false;
+    if (!std::equal(dyn.begin(), dyn.end(), t.dyn_w.begin()) ||
+        !std::equal(leak.begin(), leak.end(), t.leak_w.begin())) {
+      return false;
+    }
+    if (soc.cluster(c).power_params().leak_temp_beta != t.leak_temp_beta) return false;
+  }
+  return soc.device_power().display.value() == display_w_ &&
+         soc.device_power().rest_of_device.value() == rest_of_device_w_;
+}
+
+void PowerBatch::set_input(std::size_t session, std::size_t cluster, std::size_t freq_index,
+                           double busy_avg) noexcept {
+  NEXTGOV_ASSERT(session < sessions_ && cluster < clusters_.size());
+  NEXTGOV_ASSERT(freq_index < clusters_[cluster].dyn_w.size());
+  const std::size_t at = cluster * sessions_ + session;
+  freq_idx_[at] = static_cast<std::uint32_t>(freq_index);
+  busy_avg_[at] = busy_avg;
+}
+
+void PowerBatch::evaluate(std::span<const double* const> junction_temp_lanes,
+                          std::span<double* const> power_lanes) noexcept {
+  NEXTGOV_ASSERT(junction_temp_lanes.size() == clusters_.size());
+  NEXTGOV_ASSERT(power_lanes.size() == clusters_.size());
+  const std::size_t S = sessions_;
+  // Serial engines accumulate Watts{0.0} += p_cluster in cluster order;
+  // the sweep reproduces that order with the cluster loop outermost.
+  double* const total = soc_total_w_.data();
+  std::fill(soc_total_w_.begin(), soc_total_w_.end(), 0.0);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterTable& t = clusters_[c];
+    const double* const dyn_w = t.dyn_w.data();
+    const double* const leak_w = t.leak_w.data();
+    const double beta = t.leak_temp_beta;
+    const std::uint32_t* const idx = freq_idx_.data() + c * S;
+    const double* const busy = busy_avg_.data() + c * S;
+    const double* const temp = junction_temp_lanes[c];
+    double* const out = power_lanes[c];
+    for (std::size_t s = 0; s < S; ++s) {
+      const std::size_t i = idx[s];
+      const double p = cluster_power_from_coeffs(dyn_w[i], leak_w[i], beta, busy[s], temp[s]);
+      out[s] = p;
+      total[s] += p;
+    }
+  }
+  // device = (soc + display) + rest, matching the engine's left-associated
+  // Watts addition.
+  for (std::size_t s = 0; s < S; ++s) {
+    device_power_[s] = (total[s] + display_w_) + rest_of_device_w_;
+  }
+}
+
+}  // namespace nextgov::soc

@@ -25,11 +25,19 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/sim_time.hpp"
 #include "common/units.hpp"
 #include "thermal/rc_network.hpp"
 
 namespace nextgov::thermal {
+
+// SoA layout assumptions behind the lane accessors and the euler sweep:
+// node i's state is `sessions` contiguous IEEE-754 binary64 values starting
+// at base + i * sessions; lane pointers stay valid for the batch's lifetime
+// because the arrays are sized once at construction and never reallocate.
+static_assert(sizeof(double) == 8 && alignof(double) == 8,
+              "RcBatch lane stride math assumes 8-byte doubles");
 
 /// N same-topology sessions stepped lock-step in one SoA sweep.
 class RcBatch {
@@ -63,10 +71,27 @@ class RcBatch {
 
   /// Bulk per-tick gather/scatter: one call for all sessions (nets in
   /// session order, one entry per session, each sharing the batch
-  /// topology - establish that once via load_state). The hot tick path of
-  /// sim::BatchRunner's lock-step loop.
+  /// topology - establish that once via load_state). Since the
+  /// batch-resident pipeline these are boundary operations (batch entry,
+  /// session exit), not per-tick ones: between ticks the state stays in the
+  /// lanes and producers/consumers address them directly.
   void gather_powers(std::span<const RcNetwork* const> nets);
   void scatter_temperatures(std::span<RcNetwork* const> nets) const;
+
+  /// Raw SoA lanes: `session_count()` contiguous doubles per node, one
+  /// value per session in session order. The batch-resident pipeline works
+  /// in these directly - soc::PowerBatch writes cluster powers into
+  /// power_lane(junction node) and the engine's observation refresh reads
+  /// temperature_lane(node)[session] - so no per-tick gather/scatter
+  /// round-trip remains. Pointers stay valid for the batch's lifetime.
+  [[nodiscard]] const double* temperature_lane(NodeId node) const noexcept {
+    NEXTGOV_ASSERT(node < node_count());
+    return temp_.data() + node * sessions_;
+  }
+  [[nodiscard]] double* power_lane(NodeId node) noexcept {
+    NEXTGOV_ASSERT(node < node_count());
+    return power_.data() + node * sessions_;
+  }
 
   /// Advances every session by `dt`, sub-stepping exactly like
   /// RcNetwork::step() (same count, same sub-step size).

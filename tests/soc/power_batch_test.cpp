@@ -1,0 +1,118 @@
+// Tests for the SoA power-model batch: bit-identity against the scalar
+// cluster_power() path (the contract the batch-resident pipeline builds
+// on), compatibility checks, and the device-power accumulation order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "soc/power_batch.hpp"
+#include "soc/power_model.hpp"
+#include "soc/soc.hpp"
+
+namespace nextgov::soc {
+namespace {
+
+/// Deterministic but varied per-lane inputs, including the clamp edges
+/// (busy < 0, busy > 1) the scalar path clamps inside
+/// cluster_power_from_coeffs.
+double busy_for(std::size_t session, std::size_t cluster) {
+  switch (session % 5) {
+    case 0: return -0.25;                                              // below clamp
+    case 1: return 1.75;                                               // above clamp
+    case 2: return 0.0;
+    case 3: return 1.0;
+    default: return 0.1 + 0.17 * static_cast<double>((session + cluster) % 6);
+  }
+}
+
+double temp_for(std::size_t session, std::size_t cluster) {
+  return 18.0 + 7.3 * static_cast<double>((session * 3 + cluster) % 11);
+}
+
+TEST(PowerBatch, EvaluationIsBitIdenticalToScalarPath) {
+  const Soc reference = make_exynos9810();
+  const std::size_t sessions = 13;  // odd on purpose: no stride alignment luck
+  PowerBatch batch{reference, sessions};
+  ASSERT_EQ(batch.cluster_count(), reference.cluster_count());
+
+  // Every session runs its own Soc at its own operating points.
+  std::vector<Soc> socs;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    socs.push_back(make_exynos9810());
+    for (std::size_t c = 0; c < socs[s].cluster_count(); ++c) {
+      const std::size_t opps = socs[s].cluster(c).opps().size();
+      socs[s].cluster(c).set_freq_index((s * 5 + c * 3) % opps);
+      batch.set_input(s, c, socs[s].cluster(c).freq_index(), busy_for(s, c));
+    }
+  }
+
+  // SoA junction-temperature lanes and output lanes, [cluster][session].
+  std::vector<double> temps(reference.cluster_count() * sessions);
+  std::vector<double> powers(reference.cluster_count() * sessions, 0.0);
+  std::vector<const double*> temp_lanes;
+  std::vector<double*> power_lanes;
+  for (std::size_t c = 0; c < reference.cluster_count(); ++c) {
+    for (std::size_t s = 0; s < sessions; ++s) temps[c * sessions + s] = temp_for(s, c);
+    temp_lanes.push_back(temps.data() + c * sessions);
+    power_lanes.push_back(powers.data() + c * sessions);
+  }
+  batch.evaluate(temp_lanes, power_lanes);
+
+  for (std::size_t s = 0; s < sessions; ++s) {
+    Watts soc_power{0.0};
+    for (std::size_t c = 0; c < reference.cluster_count(); ++c) {
+      ClusterLoad load;
+      load.busy_avg = busy_for(s, c);
+      const Watts scalar =
+          cluster_power(socs[s].cluster(c), load, Celsius{temp_for(s, c)});
+      EXPECT_EQ(powers[c * sessions + s], scalar.value())
+          << "session " << s << " cluster " << c;
+      soc_power += scalar;
+    }
+    // The engine's exact accumulation order: (soc + display) + rest.
+    const auto& device = socs[s].device_power();
+    const Watts expected = soc_power + device.display + device.rest_of_device;
+    EXPECT_EQ(batch.device_power(s).value(), expected.value()) << "session " << s;
+  }
+}
+
+TEST(PowerBatch, CompatibleAcceptsSameModelAndRejectsDifferentOne) {
+  const Soc reference = make_exynos9810();
+  PowerBatch batch{reference, 4};
+  EXPECT_TRUE(batch.compatible(reference));
+
+  // A fresh instance of the same model is compatible regardless of its
+  // current operating point (inputs are per tick, tables are the model).
+  Soc other = make_exynos9810();
+  other.cluster(0).set_freq_index(other.cluster(0).opps().size() - 1);
+  EXPECT_TRUE(batch.compatible(other));
+}
+
+TEST(PowerBatch, UnsetLanesEvaluateFinite) {
+  // The padded-lane contract: lanes never fed by set_input() stay at
+  // freq index 0 / busy 0 and must still evaluate to finite powers (the
+  // resident pipeline keeps padded thermal lanes at ambient).
+  const Soc reference = make_exynos9810();
+  const std::size_t sessions = 6;
+  PowerBatch batch{reference, sessions};
+  std::vector<double> temps(reference.cluster_count() * sessions, 21.0);
+  std::vector<double> powers(reference.cluster_count() * sessions, 0.0);
+  std::vector<const double*> temp_lanes;
+  std::vector<double*> power_lanes;
+  for (std::size_t c = 0; c < reference.cluster_count(); ++c) {
+    temp_lanes.push_back(temps.data() + c * sessions);
+    power_lanes.push_back(powers.data() + c * sessions);
+  }
+  batch.evaluate(temp_lanes, power_lanes);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    EXPECT_TRUE(std::isfinite(batch.device_power(s).value())) << "session " << s;
+    for (std::size_t c = 0; c < reference.cluster_count(); ++c) {
+      EXPECT_TRUE(std::isfinite(powers[c * sessions + s]));
+      EXPECT_GE(powers[c * sessions + s], 0.0);  // leakage is still positive
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nextgov::soc
