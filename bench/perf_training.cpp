@@ -11,7 +11,10 @@
 //      tables and statistics exactly (wall_seconds excepted, which
 //      measures host time by definition);
 //   3. a small sharded federated fleet round (sim/fleet.hpp) so fleet
-//      training cost is visible in the trajectory too.
+//      training cost is visible in the trajectory too;
+//   4. fleet snapshot persistence cost: ms per save and per load+verify,
+//      and bytes on disk, for a 64-device-shaped checkpoint - the overhead
+//      a real fleet pays for crash tolerance every snapshot_every rounds.
 //
 // `--smoke` shrinks budgets so CI can run it on every PR. On single-core
 // hosts the speedup measurement is skipped (annotated in the JSON); the
@@ -134,6 +137,46 @@ int main(int argc, char** argv) {
               fleet.devices, fleet.rounds, fleet_result.global.state_count(),
               fleet_result.wall_seconds, fleet_sim_s / fleet_result.wall_seconds);
 
+  // --- fleet snapshot save/load cost --------------------------------------
+  // Shapes a checkpoint like a 64-device / 8-shard fleet would carry (the
+  // snapshot stores per-shard aggregates + uploads, not per-device state,
+  // so shard count x table size is what sets the bytes) and measures the
+  // full persist + restore round trip through the CRC'd container.
+  const std::size_t snap_shards = 8;
+  sim::FleetOptions snap_opts = fleet;
+  snap_opts.devices = 64;
+  snap_opts.shards = snap_shards;
+  sim::FleetSnapshot snap;
+  snap.next_round = fleet.rounds;
+  snap.total_decisions = fleet_result.total_decisions;
+  snap.last_round_mean_reward = fleet_result.mean_final_reward;
+  for (std::size_t s = 0; s < snap_shards; ++s) {
+    snap.shard_tables.push_back(fleet_result.global);
+    snap.uploads.push_back(sim::FleetUpload{fleet_result.global, 1});
+    snap.shard_last_upload.push_back(1);
+  }
+  snap.last_aggregate = fleet_result.global;
+  const std::string snap_path = out_dir() + "/perf_training_snapshot.bin";
+  const int snap_iters = smoke ? 3 : 10;
+  const double save_s = wall_seconds([&] {
+    for (int i = 0; i < snap_iters; ++i) sim::save_fleet_snapshot(snap, snap_opts, snap_path);
+  });
+  const double load_s = wall_seconds([&] {
+    for (int i = 0; i < snap_iters; ++i) (void)sim::load_fleet_snapshot(snap_path, snap_opts);
+  });
+  std::size_t snap_bytes = 0;
+  if (std::FILE* f = std::fopen(snap_path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    snap_bytes = static_cast<std::size_t>(std::ftell(f));
+    std::fclose(f);
+  }
+  std::remove(snap_path.c_str());
+  const double save_ms = 1e3 * save_s / snap_iters;
+  const double load_ms = 1e3 * load_s / snap_iters;
+  std::printf("  snapshot (64-device shape, %zu shards x %zu states): %zu bytes, "
+              "save %.2f ms, load+verify %.2f ms\n",
+              snap_shards, fleet_result.global.state_count(), snap_bytes, save_ms, load_ms);
+
   // --- JSON trajectory file ----------------------------------------------
   const std::string path = out_dir() + "/BENCH_training.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -179,6 +222,13 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"wall_s\": %.4f,\n", fleet_result.wall_seconds);
   std::fprintf(out, "    \"device_sim_s_per_wall_s\": %.0f\n",
                fleet_sim_s / fleet_result.wall_seconds);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"snapshot\": {\n");
+  std::fprintf(out, "    \"shape\": \"64 devices / %zu shards\",\n", snap_shards);
+  std::fprintf(out, "    \"states_per_shard\": %zu,\n", fleet_result.global.state_count());
+  std::fprintf(out, "    \"bytes_on_disk\": %zu,\n", snap_bytes);
+  std::fprintf(out, "    \"save_ms\": %.3f,\n", save_ms);
+  std::fprintf(out, "    \"load_verify_ms\": %.3f\n", load_ms);
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);

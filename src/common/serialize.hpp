@@ -1,0 +1,166 @@
+// serialize.hpp - versioned, endian-stable binary snapshot format.
+//
+// Everything the repo persists (Q-tables, agent training state, whole-fleet
+// checkpoints) goes through this one layer so corruption handling, version
+// policy and byte order are decided exactly once:
+//
+//   * ByteWriter/ByteReader encode fixed-width little-endian primitives
+//     (floats via their IEEE-754 bit patterns), so snapshot bytes are
+//     identical across hosts and a snapshot written on one machine restores
+//     bit-identically on another;
+//   * SnapshotWriter/SnapshotReader wrap payloads in a sectioned container:
+//     magic + format version + named sections, each with a length and a
+//     CRC32 over its payload. The reader validates all of it up front and
+//     throws SerializeError with a descriptive message on bad magic,
+//     unsupported version, truncation or checksum mismatch - a damaged
+//     snapshot is always a reported error, never UB or a silent partial
+//     load.
+//
+// Version policy (documented in bench/README.md): writers always emit
+// kSnapshotVersion; readers refuse anything newer ("refuse-forward") and
+// read back at most one version (kSnapshotVersionMin), so a rolling fleet
+// upgrade can always restore the previous release's checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace nextgov {
+
+/// Corruption, truncation or version mismatch detected while decoding a
+/// snapshot. Derives from IoError so existing persistence call sites that
+/// handle IoError keep working.
+class SerializeError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant): crc32 of
+/// "123456789" is 0xCBF43926. Detects all single-byte corruptions and any
+/// truncation the length fields miss.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Appends fixed-width little-endian primitives to a growable byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);   ///< IEEE-754 bit pattern, bit-exact round trip
+  void f64(double v);  ///< IEEE-754 bit pattern, bit-exact round trip
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Length-prefixed (u32) UTF-8 bytes.
+  void str(std::string_view s);
+  void bytes(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Decodes what ByteWriter encoded. Every read is bounds-checked: running
+/// past the payload throws SerializeError naming `context` (set it to the
+/// section/file being decoded so the error says *what* was truncated).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data, std::string context = "snapshot")
+      : data_{data}, context_{std::move(context)} {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] float f32();
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::string str();
+
+  /// Skips `n` payload bytes (bounds-checked like every read).
+  void skip(std::size_t n);
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] const std::string& context() const noexcept { return context_; }
+
+  /// Throws SerializeError("<context>: <what>").
+  [[noreturn]] void fail(const std::string& what) const;
+
+ private:
+  void need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+  std::string context_;
+};
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4e585353;  // "NXSS"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Oldest container version the reader still accepts (read-back-one once
+/// kSnapshotVersion moves past 1).
+inline constexpr std::uint32_t kSnapshotVersionMin = 1;
+
+/// Assembles a sectioned snapshot. Sections are written in call order;
+/// names must be unique and are the reader's lookup keys.
+class SnapshotWriter {
+ public:
+  /// Starts a new named section and returns the writer for its payload.
+  /// The returned reference is invalidated by the next section() call.
+  ByteWriter& section(std::string name);
+
+  /// The assembled container (magic, version, section table + payloads,
+  /// per-section CRC32).
+  [[nodiscard]] std::vector<std::uint8_t> bytes() const;
+
+  /// Writes the container to `path` atomically (temp file + rename), so a
+  /// crash mid-write can never leave a half-written snapshot at `path`.
+  /// Throws IoError on filesystem failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    ByteWriter payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Parses and validates a snapshot container: magic, version window
+/// [kSnapshotVersionMin, kSnapshotVersion], section framing and every
+/// section's CRC32 are all checked in the constructor, so a SnapshotReader
+/// that exists is known-good.
+class SnapshotReader {
+ public:
+  /// `label` names the snapshot in error messages (usually the file path).
+  SnapshotReader(std::vector<std::uint8_t> bytes, std::string label = "snapshot");
+
+  /// Reads and validates `path`. Throws IoError if unreadable,
+  /// SerializeError if damaged.
+  [[nodiscard]] static SnapshotReader from_file(const std::string& path);
+
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  [[nodiscard]] bool has(std::string_view name) const noexcept;
+  /// Payload reader for a section; throws SerializeError when missing.
+  [[nodiscard]] ByteReader section(std::string_view name) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::size_t offset{0};
+    std::size_t size{0};
+  };
+  std::vector<std::uint8_t> bytes_;
+  std::vector<Section> sections_;
+  std::uint32_t version_{0};
+  std::string label_;
+};
+
+}  // namespace nextgov

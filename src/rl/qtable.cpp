@@ -1,25 +1,15 @@
 #include "rl/qtable.hpp"
 
 #include <algorithm>
-#include <fstream>
+#include <bit>
 
 #include "common/error.hpp"
 
 namespace nextgov::rl {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x4e584754;  // "NXGT"
-constexpr std::uint32_t kVersion = 2;
-
-template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-
-template <typename T>
-void read_pod(std::ifstream& in, T& v) {
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-}
+/// Section name inside the snapshot container used by save()/load().
+constexpr const char* kQTableSection = "qtable";
 }  // namespace
 
 namespace {
@@ -107,62 +97,87 @@ void QTable::clear() {
   total_visits_ = 0;
 }
 
-void QTable::save(const std::string& path) const {
-  std::ofstream out{path, std::ios::binary};
-  if (!out) throw IoError("cannot open Q-table for writing: " + path);
-  write_pod(out, kMagic);
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint64_t>(actions_));
-  write_pod(out, static_cast<std::uint64_t>(table_.size()));
-  write_pod(out, total_visits_);
-  for (const auto& [key, e] : table_) {
-    write_pod(out, key);
-    write_pod(out, e.visits);
-    write_pod(out, e.tried);
-    out.write(reinterpret_cast<const char*>(e.q.data()),
-              static_cast<std::streamsize>(e.q.size() * sizeof(float)));
+bool QTable::operator==(const QTable& other) const noexcept {
+  if (actions_ != other.actions_ || total_visits_ != other.total_visits_ ||
+      table_.size() != other.table_.size() ||
+      std::bit_cast<std::uint64_t>(default_q_) != std::bit_cast<std::uint64_t>(other.default_q_)) {
+    return false;
   }
-  if (!out) throw IoError("failed writing Q-table: " + path);
+  for (const auto& [key, e] : table_) {
+    const auto it = other.table_.find(key);
+    if (it == other.table_.end()) return false;
+    const Entry& o = it->second;
+    if (e.visits != o.visits || e.tried != o.tried) return false;
+    for (std::size_t a = 0; a < actions_; ++a) {
+      if (std::bit_cast<std::uint32_t>(e.q[a]) != std::bit_cast<std::uint32_t>(o.q[a])) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
-QTable QTable::load(const std::string& path) {
-  std::ifstream in{path, std::ios::binary};
-  if (!in) throw IoError("cannot open Q-table: " + path);
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  read_pod(in, magic);
-  read_pod(in, version);
-  if (magic != kMagic) throw IoError("not a nextgov Q-table: " + path);
-  if (version != kVersion) throw IoError("unsupported Q-table version in " + path);
-  std::uint64_t actions = 0;
-  std::uint64_t states = 0;
-  std::uint64_t total_visits = 0;
-  read_pod(in, actions);
-  read_pod(in, states);
-  read_pod(in, total_visits);
-  if (!in || actions == 0) throw IoError("corrupt Q-table header: " + path);
-  QTable t{static_cast<std::size_t>(actions)};
+void QTable::serialize(ByteWriter& out) const {
+  out.u64(static_cast<std::uint64_t>(actions_));
+  out.f64(default_q_);
+  out.u64(total_visits_);
+  out.u64(static_cast<std::uint64_t>(table_.size()));
+  // Canonical order: sorted by state key. The in-memory map's iteration
+  // order depends on insertion history, which must not leak into the
+  // snapshot bytes (resume-equality tests compare serialized fleets
+  // byte-for-byte).
+  std::vector<StateKey> keys;
+  keys.reserve(table_.size());
+  for (const auto& [key, e] : table_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const StateKey key : keys) {
+    const Entry& e = table_.find(key)->second;
+    out.u64(key);
+    out.u64(e.visits);
+    out.u32(e.tried);
+    for (const float q : e.q) out.f32(q);
+  }
+}
+
+QTable QTable::deserialize(ByteReader& in) {
+  const std::uint64_t actions = in.u64();
+  if (actions == 0 || actions > 4096) {
+    in.fail("corrupt Q-table header: implausible action count " + std::to_string(actions));
+  }
+  const double default_q = in.f64();
+  const std::uint64_t total_visits = in.u64();
+  const std::uint64_t states = in.u64();
+  QTable t{static_cast<std::size_t>(actions), default_q};
   t.total_visits_ = total_visits;
   // Cap the pre-size: `states` is untrusted header data, and a corrupt
-  // count must surface as the truncated-file IoError below, not as a
+  // count must surface as a truncation SerializeError below, not as a
   // giant allocation here.
   t.table_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(states, 1u << 20)));
   for (std::uint64_t i = 0; i < states; ++i) {
-    StateKey key = 0;
-    std::uint64_t visits = 0;
-    std::uint32_t tried = 0;
-    read_pod(in, key);
-    read_pod(in, visits);
-    read_pod(in, tried);
+    const StateKey key = in.u64();
     Entry e;
-    e.visits = visits;
-    e.tried = tried;
+    e.visits = in.u64();
+    e.tried = in.u32();
     e.q.resize(actions);
-    in.read(reinterpret_cast<char*>(e.q.data()),
-            static_cast<std::streamsize>(actions * sizeof(float)));
-    if (!in) throw IoError("truncated Q-table: " + path);
-    t.table_.emplace(key, std::move(e));
+    for (float& q : e.q) q = in.f32();
+    if (!t.table_.emplace(key, std::move(e)).second) {
+      in.fail("corrupt Q-table payload: duplicate state key");
+    }
   }
+  return t;
+}
+
+void QTable::save(const std::string& path) const {
+  SnapshotWriter snapshot;
+  serialize(snapshot.section(kQTableSection));
+  snapshot.write_file(path);
+}
+
+QTable QTable::load(const std::string& path) {
+  const SnapshotReader snapshot = SnapshotReader::from_file(path);
+  ByteReader in = snapshot.section(kQTableSection);
+  QTable t = deserialize(in);
+  if (!in.done()) in.fail("trailing bytes after the Q-table payload");
   return t;
 }
 

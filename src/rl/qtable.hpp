@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hpp"
+
 namespace nextgov::rl {
 
 using StateKey = std::uint64_t;
@@ -42,8 +44,8 @@ class QTable {
   /// maximum achievable return ("optimistic initialization") makes the
   /// learner systematically try every action in every visited state, which
   /// is what lets Next converge within the paper's minutes-scale training
-  /// budget. Persistence does not store it: a loaded table is already
-  /// trained and is used greedily.
+  /// budget. Persistence stores it, so a checkpointed half-trained table
+  /// resumes with the same optimism for states it has not visited yet.
   explicit QTable(std::size_t action_count, double default_q = 0.0);
 
   [[nodiscard]] std::size_t action_count() const noexcept { return actions_; }
@@ -79,7 +81,26 @@ class QTable {
 
   void clear();
 
-  /// Binary persistence (magic + version header). Throws IoError.
+  /// Exact-state equality: action count, default_q, every entry's visit
+  /// count, tried mask and action values (compared by IEEE bit pattern, so
+  /// even a one-ulp drift fails) and the visit totals. This is the
+  /// predicate behind the snapshot round-trip and crash/resume tests -
+  /// "resumed training equals uninterrupted training" is checked against
+  /// table identity, not a fingerprint.
+  [[nodiscard]] bool operator==(const QTable& other) const noexcept;
+
+  /// Canonical binary encoding into a snapshot payload: entries are
+  /// emitted sorted by state key, so two tables that compare == always
+  /// serialize to identical bytes regardless of insertion history.
+  void serialize(ByteWriter& out) const;
+  /// Decodes what serialize() wrote. Throws SerializeError on truncation
+  /// or structurally impossible values.
+  [[nodiscard]] static QTable deserialize(ByteReader& in);
+
+  /// Binary persistence through the common snapshot container
+  /// (common/serialize.hpp: magic, format version, CRC32 over the
+  /// payload). Throws IoError / SerializeError with a descriptive message
+  /// on unreadable, corrupt, truncated or version-incompatible files.
   void save(const std::string& path) const;
   [[nodiscard]] static QTable load(const std::string& path);
 

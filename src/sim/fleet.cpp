@@ -5,16 +5,11 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace nextgov::sim {
 
 namespace {
-
-/// One shard's last upload to the global server.
-struct Upload {
-  rl::QTable table;
-  std::size_t round{0};
-};
 
 /// Copy of `table` carrying its action values and tried masks but no
 /// visit mass. Devices warm-start from this, so a round's shard merge
@@ -33,7 +28,7 @@ rl::QTable strip_visits(const rl::QTable& table) {
 
 /// Staleness-weighted merge of the uploads the server has seen so far,
 /// aged relative to `current_round`.
-rl::QTable server_aggregate(const std::vector<std::optional<Upload>>& uploads,
+rl::QTable server_aggregate(const std::vector<std::optional<FleetUpload>>& uploads,
                             std::size_t current_round,
                             const rl::StalenessMergePolicy& policy) {
   std::vector<const rl::QTable*> tables;
@@ -47,7 +42,180 @@ rl::QTable server_aggregate(const std::vector<std::optional<Upload>>& uploads,
   return rl::merge_q_tables(tables, staleness, policy);
 }
 
+// --- fault injection -------------------------------------------------------
+
+constexpr std::uint64_t kDropoutSalt = 0xD409u;
+constexpr std::uint64_t kCorruptSalt = 0xC0FFu;
+
+/// Deterministic per-(round, index) fault draw: independent of worker
+/// count, of every other draw, and of how many draws preceded it.
+bool fault_fires(const FleetFaultPlan& faults, std::uint64_t salt, std::size_t round,
+                 std::size_t index, double rate) {
+  if (rate <= 0.0) return false;
+  SplitMix64 sm{derive_seed(derive_seed(faults.seed ^ salt, round), index)};
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+/// Damages an encoded upload in-place: even draws flip one payload byte
+/// (always caught by the CRC32), odd draws truncate the blob (caught by the
+/// container's length checks). Deterministic in the same stream that
+/// decided the fault fires.
+void damage_upload(std::vector<std::uint8_t>& blob, const FleetFaultPlan& faults,
+                   std::size_t round, std::size_t shard) {
+  SplitMix64 sm{derive_seed(derive_seed(faults.seed ^ ~kCorruptSalt, round), shard)};
+  const std::uint64_t kind = sm.next();
+  if (blob.empty()) return;
+  if (kind % 2 == 0) {
+    const std::size_t at = static_cast<std::size_t>(sm.next() % blob.size());
+    blob[at] ^= static_cast<std::uint8_t>(1 + sm.next() % 255);
+  } else {
+    blob.resize(blob.size() / 2);
+  }
+}
+
+// --- snapshot payload helpers ----------------------------------------------
+
+constexpr const char* kOptionsSection = "fleet_options";
+constexpr const char* kStateSection = "fleet_state";
+
+void write_optional_table(ByteWriter& out, const std::optional<rl::QTable>& table) {
+  out.boolean(table.has_value());
+  if (table.has_value()) table->serialize(out);
+}
+
+std::optional<rl::QTable> read_optional_table(ByteReader& in) {
+  if (!in.boolean()) return std::nullopt;
+  return rl::QTable::deserialize(in);
+}
+
 }  // namespace
+
+void encode_fleet_options(const FleetOptions& options, ByteWriter& out) {
+  out.u64(static_cast<std::uint64_t>(options.devices));
+  out.u64(static_cast<std::uint64_t>(options.shards));
+  out.i64(options.round_duration.us());
+  out.i64(options.episode_length.us());
+  out.u64(options.base_seed);
+  out.f64(options.ambient.value());
+  out.u64(static_cast<std::uint64_t>(options.sync_spread));
+  out.f64(options.merge_policy.half_life_rounds);
+  out.u64(options.faults.seed);
+  out.f64(options.faults.dropout_rate);
+  out.f64(options.faults.upload_corruption_rate);
+  // NextConfig, field by field: the agent's whole trajectory depends on
+  // these, so a resume under a different agent configuration must be
+  // rejected rather than silently diverge from the snapshotted run.
+  const core::NextConfig& c = options.next_config;
+  out.i64(c.sample_period.us());
+  out.i64(c.frame_window.us());
+  out.i64(c.control_period.us());
+  out.u64(static_cast<std::uint64_t>(c.fps_levels));
+  out.u64(static_cast<std::uint64_t>(c.power_bins));
+  out.f64(c.power_max_w);
+  out.u64(static_cast<std::uint64_t>(c.temp_bins));
+  out.f64(c.temp_min_c);
+  out.f64(c.temp_max_c);
+  out.f64(c.qlearning.alpha);
+  out.f64(c.qlearning.gamma);
+  out.f64(c.qlearning.alpha_min);
+  out.f64(c.qlearning.visit_decay);
+  out.f64(c.epsilon.start);
+  out.f64(c.epsilon.end);
+  out.u64(c.epsilon.decay_steps);
+  out.f64(c.optimistic_q);
+  out.u8(static_cast<std::uint8_t>(c.reward_metric));
+  out.f64(c.ppdw_bounds.fps_least);
+  out.f64(c.ppdw_bounds.fps_max);
+  out.f64(c.ppdw_bounds.power_least.value());
+  out.f64(c.ppdw_bounds.power_max.value());
+  out.f64(c.ppdw_bounds.temp_least.value());
+  out.f64(c.ppdw_bounds.temp_max.value());
+  out.f64(c.ppdw_bounds.ambient.value());
+  out.f64(c.ppdw_ref);
+  out.f64(c.ppw_ref);
+  out.f64(c.track_sigma_floor);
+  out.f64(c.track_sigma_frac);
+  out.f64(c.idle_power_scale_w);
+  out.f64(c.drop_scale);
+  out.u64(static_cast<std::uint64_t>(c.cap_up_step));
+  out.u64(static_cast<std::uint64_t>(c.cap_down_step));
+}
+
+void save_fleet_snapshot(const FleetSnapshot& snapshot, const FleetOptions& options,
+                         const std::string& path) {
+  NEXTGOV_ASSERT(snapshot.shard_tables.size() == snapshot.uploads.size());
+  NEXTGOV_ASSERT(snapshot.shard_tables.size() == snapshot.shard_last_upload.size());
+  SnapshotWriter out;
+  encode_fleet_options(options, out.section(kOptionsSection));
+  ByteWriter& state = out.section(kStateSection);
+  state.u64(static_cast<std::uint64_t>(snapshot.next_round));
+  state.u64(snapshot.total_decisions);
+  state.f64(snapshot.last_round_mean_reward);
+  state.u64(snapshot.dropped_device_rounds);
+  state.u64(snapshot.rejected_uploads);
+  state.u32(static_cast<std::uint32_t>(snapshot.shard_tables.size()));
+  for (std::size_t s = 0; s < snapshot.shard_tables.size(); ++s) {
+    write_optional_table(state, snapshot.shard_tables[s]);
+    state.boolean(snapshot.uploads[s].has_value());
+    if (snapshot.uploads[s].has_value()) {
+      state.u64(static_cast<std::uint64_t>(snapshot.uploads[s]->round));
+      snapshot.uploads[s]->table.serialize(state);
+    }
+    state.u64(static_cast<std::uint64_t>(snapshot.shard_last_upload[s]));
+  }
+  write_optional_table(state, snapshot.last_aggregate);
+  out.write_file(path);
+}
+
+FleetSnapshot load_fleet_snapshot(const std::string& path) {
+  const SnapshotReader snapshot = SnapshotReader::from_file(path);
+  ByteReader in = snapshot.section(kStateSection);
+  FleetSnapshot out;
+  out.next_round = static_cast<std::size_t>(in.u64());
+  out.total_decisions = in.u64();
+  out.last_round_mean_reward = in.f64();
+  out.dropped_device_rounds = in.u64();
+  out.rejected_uploads = in.u64();
+  const std::uint32_t shards = in.u32();
+  if (shards == 0 || shards > (1u << 20)) {
+    in.fail("corrupt fleet snapshot: implausible shard count " + std::to_string(shards));
+  }
+  out.shard_tables.reserve(shards);
+  out.uploads.reserve(shards);
+  out.shard_last_upload.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    out.shard_tables.push_back(read_optional_table(in));
+    if (in.boolean()) {
+      const std::size_t upload_round = static_cast<std::size_t>(in.u64());
+      out.uploads.push_back(FleetUpload{rl::QTable::deserialize(in), upload_round});
+    } else {
+      out.uploads.push_back(std::nullopt);
+    }
+    out.shard_last_upload.push_back(static_cast<std::size_t>(in.u64()));
+  }
+  out.last_aggregate = read_optional_table(in);
+  if (!in.done()) in.fail("trailing bytes after the fleet state payload");
+  return out;
+}
+
+FleetSnapshot load_fleet_snapshot(const std::string& path, const FleetOptions& expected) {
+  const SnapshotReader snapshot = SnapshotReader::from_file(path);
+  ByteReader stored = snapshot.section(kOptionsSection);
+  ByteWriter current;
+  encode_fleet_options(expected, current);
+  bool match = stored.remaining() == current.size();
+  for (std::size_t i = 0; match && i < current.size(); ++i) {
+    match = stored.u8() == current.data()[i];
+  }
+  if (!match) {
+    throw SerializeError(path +
+                         ": snapshot was taken under different fleet options "
+                         "(devices/shards/seeds/durations/NextConfig/fault plan must all "
+                         "match to resume bit-identically); refusing to resume");
+  }
+  return load_fleet_snapshot(path);
+}
 
 FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
                         const RunnerOptions& runner, const FleetProgressFn& progress) {
@@ -57,6 +225,13 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
   require(options.shards <= options.devices, "train_fleet: more shards than devices");
   require(options.rounds > 0, "train_fleet needs at least one round");
   require(options.sync_spread > 0, "train_fleet: sync_spread must be >= 1");
+  require(options.faults.dropout_rate >= 0.0 && options.faults.dropout_rate < 1.0,
+          "train_fleet: dropout_rate must be in [0, 1)");
+  require(options.faults.upload_corruption_rate >= 0.0 &&
+              options.faults.upload_corruption_rate <= 1.0,
+          "train_fleet: upload_corruption_rate must be in [0, 1]");
+  require(options.snapshot_every == 0 || !options.snapshot_path.empty(),
+          "train_fleet: snapshot_every needs a snapshot_path");
 
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t n_shards = options.shards;
@@ -68,27 +243,53 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
   };
 
   std::vector<std::optional<rl::QTable>> shard_tables(n_shards);
-  std::vector<std::optional<Upload>> uploads(n_shards);
+  std::vector<std::optional<FleetUpload>> uploads(n_shards);
   std::vector<std::size_t> shard_last_upload(n_shards, kNeverUploaded);
 
+  std::size_t start_round = 0;
   std::uint64_t total_decisions = 0;
   double last_round_mean_reward = 0.0;
+  std::uint64_t dropped_device_rounds = 0;
+  std::uint64_t rejected_uploads = 0;
+  std::size_t snapshots_written = 0;
   // The server's aggregate after the most recent sync. Shard 0 syncs every
-  // round, so this is always populated by the final round - it *is* the
-  // run's global table (recomputing server_aggregate at the end would
-  // redo the identical merge).
+  // round, so (absent total upload loss) this is populated by the final
+  // round - it *is* the run's global table.
   std::optional<rl::QTable> last_aggregate;
 
-  for (std::size_t round = 0; round < options.rounds; ++round) {
-    // 1. Every device trains for one round, warm-started from its shard's
-    //    aggregate (action values only - see strip_visits), all cells
-    //    fanned out across the shared worker pool.
+  if (!options.resume_from.empty()) {
+    FleetSnapshot snapshot = load_fleet_snapshot(options.resume_from, options);
+    // The options check above pins shard count == options.shards.
+    NEXTGOV_ASSERT(snapshot.shard_tables.size() == n_shards);
+    shard_tables = std::move(snapshot.shard_tables);
+    uploads = std::move(snapshot.uploads);
+    shard_last_upload = std::move(snapshot.shard_last_upload);
+    last_aggregate = std::move(snapshot.last_aggregate);
+    start_round = snapshot.next_round;
+    total_decisions = snapshot.total_decisions;
+    last_round_mean_reward = snapshot.last_round_mean_reward;
+    dropped_device_rounds = snapshot.dropped_device_rounds;
+    rejected_uploads = snapshot.rejected_uploads;
+  }
+
+  for (std::size_t round = start_round; round < options.rounds; ++round) {
+    // 1. Every device that is online this round trains for one round,
+    //    warm-started from its shard's aggregate (action values only - see
+    //    strip_visits), all cells fanned out across the shared worker pool.
+    //    Dropped devices simply contribute nothing - their shard's merge
+    //    leans on older experience exactly like a real fleet's would.
     std::vector<std::optional<rl::QTable>> warm_starts(n_shards);
     for (std::size_t s = 0; s < n_shards; ++s) {
       if (shard_tables[s].has_value()) warm_starts[s] = strip_visits(*shard_tables[s]);
     }
     TrainingPlan plan;
+    std::vector<std::size_t> plan_device;  // device index per plan cell
+    std::size_t round_dropped = 0;
     for (std::size_t d = 0; d < options.devices; ++d) {
+      if (fault_fires(options.faults, kDropoutSalt, round, d, options.faults.dropout_rate)) {
+        ++round_dropped;
+        continue;
+      }
       TrainingOptions cell;
       cell.max_duration = options.round_duration;
       cell.episode_length = options.episode_length;
@@ -97,7 +298,9 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
       const auto& warm = warm_starts[shard_of(d)];
       cell.initial_table = warm.has_value() ? &*warm : nullptr;
       plan.add(app_factory, "device_" + std::to_string(d), options.next_config, cell);
+      plan_device.push_back(d);
     }
+    dropped_device_rounds += round_dropped;
     // A round's cells are homogeneous by construction (same round_duration /
     // episode_length, no early stopping), so the fleet advances through the
     // SoA thermal batch stepper lock-step per worker whenever the
@@ -106,7 +309,8 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
     // either way bit-identical to run_training_plan
     // (tests/sim/fleet_test.cpp).
     const std::vector<TrainingResult> round_results =
-        run_training_plan_batched(plan, {.workers = runner.workers});
+        plan.empty() ? std::vector<TrainingResult>{}
+                     : run_training_plan_batched(plan, {.workers = runner.workers});
 
     double reward_sum = 0.0;
     std::uint64_t round_decisions = 0;
@@ -115,30 +319,67 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
       round_decisions += r.decisions;
     }
     total_decisions += round_decisions;
-    last_round_mean_reward = reward_sum / static_cast<double>(round_results.size());
+    last_round_mean_reward =
+        round_results.empty() ? 0.0
+                              : reward_sum / static_cast<double>(round_results.size());
 
     // 2. Shard-local FedAvg: the previous aggregate (historical visit
-    //    mass, counted once) merged with its devices' fresh deltas.
+    //    mass, counted once) merged with its surviving devices' fresh
+    //    deltas. A shard whose devices all dropped keeps its aggregate
+    //    untouched - there is nothing new to merge.
     for (std::size_t s = 0; s < n_shards; ++s) {
       std::vector<const rl::QTable*> members;
       if (shard_tables[s].has_value()) members.push_back(&*shard_tables[s]);
-      for (std::size_t d = s; d < options.devices; d += n_shards) {
-        members.push_back(&round_results[d].table);
+      const std::size_t historical_only = members.size();
+      for (std::size_t i = 0; i < round_results.size(); ++i) {
+        if (shard_of(plan_device[i]) == s) members.push_back(&round_results[i].table);
       }
+      if (members.size() == historical_only) continue;  // no fresh uploads
       shard_tables[s] = rl::merge_q_tables(members);
     }
 
     // 3. Periodic global sync: due shards upload their fresh aggregate,
     //    then download the server's staleness-weighted merge in return.
+    //    With fault injection active, every upload travels as CRC-guarded
+    //    snapshot bytes; a damaged upload is rejected by the server (the
+    //    decode throws SerializeError), the shard keeps its local state and
+    //    its previous upload simply ages.
     std::vector<bool> synced(n_shards, false);
+    std::size_t round_rejected = 0;
     bool any_synced = false;
     for (std::size_t s = 0; s < n_shards; ++s) {
       if ((round + 1) % sync_period(s) != 0) continue;
-      uploads[s] = Upload{*shard_tables[s], round};
+      if (!shard_tables[s].has_value()) continue;  // nothing trained yet
+      if (options.faults.upload_corruption_rate > 0.0) {
+        // Wire-format round trip: serialize, maybe damage, let the server
+        // decode. Both damage modes (bit flip / truncation) are always
+        // detected - CRC32 catches any single-byte error, the container's
+        // length fields catch truncation - so a bad upload can never
+        // poison the aggregate.
+        SnapshotWriter wire;
+        shard_tables[s]->serialize(wire.section("upload"));
+        std::vector<std::uint8_t> blob = wire.bytes();
+        if (fault_fires(options.faults, kCorruptSalt, round, s,
+                        options.faults.upload_corruption_rate)) {
+          damage_upload(blob, options.faults, round, s);
+        }
+        try {
+          const SnapshotReader decoded{std::move(blob),
+                                       "upload from shard " + std::to_string(s)};
+          ByteReader payload = decoded.section("upload");
+          uploads[s] = FleetUpload{rl::QTable::deserialize(payload), round};
+        } catch (const SerializeError&) {
+          ++round_rejected;
+          continue;
+        }
+      } else {
+        uploads[s] = FleetUpload{*shard_tables[s], round};
+      }
       shard_last_upload[s] = round;
       synced[s] = true;
       any_synced = true;
     }
+    rejected_uploads += round_rejected;
     if (any_synced) {
       last_aggregate = server_aggregate(uploads, round, options.merge_policy);
       for (std::size_t s = 0; s < n_shards; ++s) {
@@ -150,27 +391,65 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
       FleetRoundStats stats;
       stats.round = round;
       stats.shard_states.reserve(n_shards);
-      for (const auto& t : shard_tables) stats.shard_states.push_back(t->state_count());
+      for (const auto& t : shard_tables) {
+        stats.shard_states.push_back(t.has_value() ? t->state_count() : 0);
+      }
       stats.shard_synced = synced;
       stats.mean_reward = last_round_mean_reward;
       stats.round_decisions = round_decisions;
+      stats.dropped_devices = round_dropped;
+      stats.rejected_uploads = round_rejected;
       progress(stats);
+    }
+
+    // 4. Periodic checkpoint (atomic replace), then the crash hook - in
+    //    that order, so crash-at-round-K tests model a process that died
+    //    *after* its last checkpoint cadence, like a real crash would.
+    if (options.snapshot_every > 0 && (round + 1) % options.snapshot_every == 0) {
+      FleetSnapshot snapshot;
+      snapshot.next_round = round + 1;
+      snapshot.total_decisions = total_decisions;
+      snapshot.last_round_mean_reward = last_round_mean_reward;
+      snapshot.dropped_device_rounds = dropped_device_rounds;
+      snapshot.rejected_uploads = rejected_uploads;
+      snapshot.shard_tables = shard_tables;
+      snapshot.uploads = uploads;
+      snapshot.shard_last_upload = shard_last_upload;
+      snapshot.last_aggregate = last_aggregate;
+      save_fleet_snapshot(snapshot, options, options.snapshot_path);
+      ++snapshots_written;
+    }
+    if (options.faults.crash_at_round == round) {
+      throw FleetCrash("fleet crashed after round " + std::to_string(round) +
+                       " (injected by FleetFaultPlan::crash_at_round)");
     }
   }
 
-  NEXTGOV_ASSERT(last_aggregate.has_value());
+  require(last_aggregate.has_value(),
+          "train_fleet: no upload ever reached the server (dropout/corruption lost every "
+          "round) - no global table to return");
   FleetResult result{
-      std::move(*last_aggregate),
-      {},
-      std::move(shard_last_upload),
-      options.devices,
-      options.rounds,
-      total_decisions,
-      static_cast<double>(options.rounds) * options.round_duration.seconds(),
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count(),
-      last_round_mean_reward};
+      .global = std::move(*last_aggregate),
+      .shard_tables = {},
+      .shard_last_upload = std::move(shard_last_upload),
+      .devices = options.devices,
+      .rounds = options.rounds,
+      .start_round = start_round,
+      .total_decisions = total_decisions,
+      .device_sim_seconds =
+          static_cast<double>(options.rounds) * options.round_duration.seconds(),
+      .wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+              .count(),
+      .mean_final_reward = last_round_mean_reward,
+      .dropped_device_rounds = dropped_device_rounds,
+      .rejected_uploads = rejected_uploads,
+      .snapshots_written = snapshots_written,
+  };
   result.shard_tables.reserve(n_shards);
-  for (auto& t : shard_tables) result.shard_tables.push_back(std::move(*t));
+  for (auto& t : shard_tables) {
+    if (t.has_value()) result.shard_tables.push_back(std::move(*t));
+  }
   return result;
 }
 

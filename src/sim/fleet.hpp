@@ -1,5 +1,5 @@
 // fleet.hpp - sharded federated fleet training (paper Section IV-C at
-// scale).
+// scale), with checkpoint/restore and fault injection.
 //
 // Section IV-C's cloud-training story is a manufacturer's fleet: many
 // devices run the same app under different users, train locally, and the
@@ -26,20 +26,76 @@
 //   * the final global table is the staleness-weighted merge of each
 //     shard's *last upload* (the server never sees fresher state).
 //
+// The paper's setting is inherently unreliable (phones go offline, uploads
+// arrive stale or truncated), so the fleet is fault-tolerant by
+// construction:
+//
+//   * FleetFaultPlan injects seeded per-round device dropout (a dropped
+//     device trains nothing that round; its shard's next upload leans on
+//     older experience, which the StalenessMergePolicy already weights
+//     down) and corrupted/truncated uploads (damaged bytes are caught by
+//     the snapshot CRC and rejected; the round degrades gracefully to the
+//     surviving uploads and the shard retries at its next cadence);
+//   * snapshot_every periodically persists the whole fleet state
+//     (FleetSnapshot via common/serialize: versioned container, CRC32 per
+//     section) and resume_from restarts from such a snapshot
+//     *bit-identically* to a run that never stopped - a round's outcome is
+//     a pure function of (options, round index, shard state at round
+//     start), so replaying from any checkpoint converges on the same
+//     bytes. Pinned by tests/sim/fleet_resume_golden_test.cpp and the
+//     examples/fleet_checkpoint.cpp CI smoke step.
+//
 // Everything is deterministic in FleetOptions (device d, round r trains
-// with seed derive_seed(derive_seed(base_seed, d), r)), so fleet training
-// inherits the runner's bit-identical-across-worker-counts contract
-// (wall_seconds excepted). Asserted by tests/sim/fleet_test.cpp.
+// with seed derive_seed(derive_seed(base_seed, d), r); faults draw from
+// their own derive_seed streams), so fleet training inherits the runner's
+// bit-identical-across-worker-counts contract (wall_seconds excepted).
+// Asserted by tests/sim/fleet_test.cpp and
+// tests/integration/fleet_faults_test.cpp.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "rl/federated.hpp"
 #include "sim/runner.hpp"
 
 namespace nextgov::sim {
+
+/// FleetFaultPlan::crash_at_round value meaning "never crash".
+inline constexpr std::size_t kNoCrashRound = static_cast<std::size_t>(-1);
+
+/// Thrown by train_fleet when FleetFaultPlan::crash_at_round fires: the
+/// simulated process death for crash/resume tests. Carries no fleet state -
+/// recovery goes through the last snapshot, exactly like a real crash.
+class FleetCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Seeded fault injection for a fleet run. All draws are deterministic in
+/// (seed, round, device/shard) - independent of worker count and of each
+/// other - so a faulted run is exactly as reproducible as a clean one.
+struct FleetFaultPlan {
+  std::uint64_t seed{0xFA017u};
+  /// Per-(device, round) probability that the device misses the round
+  /// entirely (offline / not charging): it does not train and contributes
+  /// nothing to its shard's merge that round.
+  double dropout_rate{0.0};
+  /// Per-upload probability that a shard's upload arrives damaged (byte
+  /// corruption or truncation, alternating by draw). The server rejects it
+  /// via the CRC check; the shard keeps its local aggregate, skips the
+  /// download, and retries at its next sync cadence while its previous
+  /// upload ages through the staleness weighting.
+  double upload_corruption_rate{0.0};
+  /// Crash hook: after round K fully completes (including any due
+  /// snapshot), train_fleet throws FleetCrash. kNoCrashRound = never.
+  std::size_t crash_at_round{kNoCrashRound};
+};
 
 struct FleetOptions {
   std::size_t devices{8};
@@ -58,6 +114,16 @@ struct FleetOptions {
   /// rounds. 1 = synchronous FedAvg (no staleness anywhere).
   std::size_t sync_spread{2};
   rl::StalenessMergePolicy merge_policy{};
+  FleetFaultPlan faults{};
+  /// Persist a FleetSnapshot to snapshot_path after every N completed
+  /// rounds (atomic replace). 0 = no snapshots.
+  std::size_t snapshot_every{0};
+  std::string snapshot_path{};
+  /// Non-empty: restore the fleet from this snapshot and continue from its
+  /// next round instead of starting fresh. The snapshot's recorded options
+  /// must match (see load_fleet_snapshot); `rounds` may be larger than the
+  /// snapshotted run's - the fleet simply trains further.
+  std::string resume_from{};
 };
 
 /// Per-round progress snapshot, handed to FleetProgressFn after each merge.
@@ -67,6 +133,8 @@ struct FleetRoundStats {
   std::vector<bool> shard_synced;          ///< uploaded to global this round?
   double mean_reward{0.0};                 ///< mean of this round's device rewards
   std::uint64_t round_decisions{0};        ///< decisions across all devices
+  std::size_t dropped_devices{0};          ///< devices that missed this round
+  std::size_t rejected_uploads{0};         ///< uploads the server refused (CRC)
 };
 using FleetProgressFn = std::function<void(const FleetRoundStats&)>;
 
@@ -81,11 +149,62 @@ struct FleetResult {
   std::vector<std::size_t> shard_last_upload;
   std::size_t devices{0};
   std::size_t rounds{0};
+  /// First round this call actually executed (> 0 when resumed).
+  std::size_t start_round{0};
   std::uint64_t total_decisions{0};
   double device_sim_seconds{0.0};  ///< simulated training time per device
   double wall_seconds{0.0};        ///< host wall-clock for the whole fleet run
   double mean_final_reward{0.0};   ///< mean device reward in the last round
+  // --- fault/persistence bookkeeping (cumulative across resumes) ---
+  std::uint64_t dropped_device_rounds{0};  ///< (device, round) pairs lost to dropout
+  std::uint64_t rejected_uploads{0};       ///< uploads refused by the CRC check
+  std::size_t snapshots_written{0};        ///< by this call (not the resumed-from run)
 };
+
+/// One shard's last accepted upload as the global server holds it.
+struct FleetUpload {
+  rl::QTable table;
+  std::size_t round{0};
+};
+
+/// The complete persistent state of a fleet between rounds - everything a
+/// resumed run needs to continue bit-identically. Serialized through the
+/// common snapshot container (magic, version, per-section CRC32), together
+/// with a canonical encoding of the FleetOptions that produced it so a
+/// resume under different options is rejected instead of silently
+/// diverging.
+struct FleetSnapshot {
+  std::size_t next_round{0};  ///< first round the resumed run executes
+  std::uint64_t total_decisions{0};
+  double last_round_mean_reward{0.0};
+  std::uint64_t dropped_device_rounds{0};
+  std::uint64_t rejected_uploads{0};
+  std::vector<std::optional<rl::QTable>> shard_tables;
+  std::vector<std::optional<FleetUpload>> uploads;
+  std::vector<std::size_t> shard_last_upload;
+  std::optional<rl::QTable> last_aggregate;
+};
+
+/// Canonical byte encoding of every FleetOptions field that determines the
+/// trajectory (devices/shards/seeds/durations/NextConfig/merge policy/fault
+/// rates - deliberately *excluding* `rounds`, the crash hook and the
+/// snapshot/resume plumbing, so a resumed run may extend the round count or
+/// drop the crash). Stored inside each snapshot and compared on load.
+void encode_fleet_options(const FleetOptions& options, ByteWriter& out);
+
+/// Persists `snapshot` (+ the options encoding) to `path` atomically.
+void save_fleet_snapshot(const FleetSnapshot& snapshot, const FleetOptions& options,
+                         const std::string& path);
+
+/// Loads and validates a fleet snapshot. Throws IoError if unreadable and
+/// SerializeError (with a descriptive message) on bad magic, unsupported
+/// version, truncation or CRC mismatch.
+[[nodiscard]] FleetSnapshot load_fleet_snapshot(const std::string& path);
+
+/// Same, but additionally requires the snapshot's recorded options to match
+/// `expected` (by canonical encoding); mismatch throws SerializeError.
+[[nodiscard]] FleetSnapshot load_fleet_snapshot(const std::string& path,
+                                                const FleetOptions& expected);
 
 /// Trains a sharded fleet on `app_factory`'s app and returns the final
 /// global aggregate. `runner.workers` sizes the shared pool each round.

@@ -1,0 +1,202 @@
+// Tests for the versioned snapshot container (common/serialize.hpp):
+// primitive round trips, pinned little-endian byte layout, the CRC32
+// known-answer, and - the point of the layer - that every damage mode
+// (bad magic, future version, truncation, bit flips, missing sections,
+// trailing garbage) is a descriptive SerializeError, never UB or a silent
+// partial load.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace nextgov {
+namespace {
+
+TEST(ByteCodec, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0x7f);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f32(3.25f);
+  w.f64(-0.1);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("nextgov");
+  ByteReader r{w.data(), "test"};
+  EXPECT_EQ(r.u8(), 0x7f);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f32(), 3.25f);
+  EXPECT_EQ(r.f64(), -0.1);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "nextgov");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteCodec, NonFiniteAndDenormalDoublesAreBitExact) {
+  const double values[] = {std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           -0.0};
+  ByteWriter w;
+  for (const double v : values) w.f64(v);
+  ByteReader r{w.data(), "test"};
+  for (const double v : values) {
+    const double got = r.f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got), std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(ByteCodec, LayoutIsLittleEndianAndPinned) {
+  // The wire format is part of the persistence contract: these exact bytes
+  // must never change without a version bump.
+  ByteWriter w;
+  w.u32(0x11223344u);
+  w.u64(0x0102030405060708ULL);
+  const std::vector<std::uint8_t> expected = {0x44, 0x33, 0x22, 0x11, 0x08, 0x07,
+                                              0x06, 0x05, 0x04, 0x03, 0x02, 0x01};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteCodec, TruncatedReadThrowsWithContext) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r{w.data(), "agent state"};
+  try {
+    (void)r.u64();  // only 4 bytes available
+    FAIL() << "expected SerializeError";
+  } catch (const SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("agent state"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ByteCodec, StringLengthBeyondPayloadThrows) {
+  ByteWriter w;
+  w.u32(1000);  // claims a 1000-byte string, provides none
+  ByteReader r{w.data(), "test"};
+  EXPECT_THROW((void)r.str(), SerializeError);
+}
+
+TEST(Crc32, KnownAnswer) {
+  // The canonical CRC-32 check value (IEEE 802.3 / zlib / PNG).
+  const std::string s = "123456789";
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  EXPECT_EQ(crc32({p, s.size()}), 0xCBF43926u);
+  EXPECT_EQ(crc32({p, std::size_t{0}}), 0x00000000u);
+}
+
+std::vector<std::uint8_t> two_section_snapshot() {
+  SnapshotWriter w;
+  ByteWriter& a = w.section("alpha");
+  a.u64(123);
+  a.str("payload");
+  ByteWriter& b = w.section("beta");
+  b.f64(2.5);
+  return w.bytes();
+}
+
+TEST(SnapshotContainer, RoundTripsSections) {
+  const SnapshotReader snap{two_section_snapshot(), "test"};
+  EXPECT_EQ(snap.version(), kSnapshotVersion);
+  EXPECT_TRUE(snap.has("alpha"));
+  EXPECT_TRUE(snap.has("beta"));
+  EXPECT_FALSE(snap.has("gamma"));
+  ByteReader a = snap.section("alpha");
+  EXPECT_EQ(a.u64(), 123u);
+  EXPECT_EQ(a.str(), "payload");
+  EXPECT_TRUE(a.done());
+  ByteReader b = snap.section("beta");
+  EXPECT_EQ(b.f64(), 2.5);
+}
+
+TEST(SnapshotContainer, MissingSectionThrows) {
+  const SnapshotReader snap{two_section_snapshot(), "test"};
+  EXPECT_THROW((void)snap.section("gamma"), SerializeError);
+}
+
+TEST(SnapshotContainer, BadMagicThrows) {
+  std::vector<std::uint8_t> bytes = two_section_snapshot();
+  bytes[0] ^= 0xff;
+  try {
+    const SnapshotReader snap{std::move(bytes), "test"};
+    FAIL() << "expected SerializeError";
+  } catch (const SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapshotContainer, FutureVersionIsRefused) {
+  // Refuse-forward: a snapshot written by a newer release must be rejected,
+  // not misparsed. The version is the u32 after the magic.
+  std::vector<std::uint8_t> bytes = two_section_snapshot();
+  bytes[4] = static_cast<std::uint8_t>(kSnapshotVersion + 1);
+  try {
+    const SnapshotReader snap{std::move(bytes), "test"};
+    FAIL() << "expected SerializeError";
+  } catch (const SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapshotContainer, EveryTruncationIsDetected) {
+  const std::vector<std::uint8_t> good = two_section_snapshot();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::vector<std::uint8_t> cut(good.begin(),
+                                  good.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)SnapshotReader(std::move(cut), "test"), SerializeError)
+        << "truncation to " << len << " of " << good.size() << " bytes not detected";
+  }
+}
+
+TEST(SnapshotContainer, EverySingleByteFlipIsDetected) {
+  // CRC32 detects all single-byte payload corruptions; header/framing
+  // damage trips the magic/version/length checks instead. Either way no
+  // flipped byte may yield a readable snapshot whose sections differ.
+  const std::vector<std::uint8_t> good = two_section_snapshot();
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::vector<std::uint8_t> bad = good;
+    bad[i] ^= 0x01;
+    bool detected = false;
+    try {
+      const SnapshotReader snap{std::move(bad), "test"};
+      // A flip inside a section *name* can survive framing + CRC (the CRC
+      // covers the payload); the snapshot is then valid but must expose the
+      // altered name, not the original.
+      detected = !snap.has("alpha") || !snap.has("beta");
+    } catch (const SerializeError&) {
+      detected = true;
+    }
+    EXPECT_TRUE(detected) << "flip at byte " << i << " went unnoticed";
+  }
+}
+
+TEST(SnapshotContainer, TrailingGarbageThrows) {
+  std::vector<std::uint8_t> bytes = two_section_snapshot();
+  bytes.push_back(0xee);
+  EXPECT_THROW((void)SnapshotReader(std::move(bytes), "test"), SerializeError);
+}
+
+TEST(SnapshotContainer, FileRoundTripIsAtomic) {
+  const std::string path = ::testing::TempDir() + "serialize_test_snapshot.bin";
+  SnapshotWriter w;
+  w.section("data").u64(99);
+  w.write_file(path);
+  const SnapshotReader snap = SnapshotReader::from_file(path);
+  ByteReader r = snap.section("data");
+  EXPECT_EQ(r.u64(), 99u);
+  EXPECT_THROW((void)SnapshotReader::from_file(path + ".does-not-exist"), IoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nextgov

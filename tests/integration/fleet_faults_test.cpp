@@ -1,0 +1,119 @@
+// Integration tests for the fleet fault-injection harness: seeded dropout
+// and upload corruption are deterministic (worker-count independent),
+// degrade rounds gracefully instead of failing them, and compose with
+// crash/resume.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/fleet.hpp"
+
+namespace nextgov::sim {
+namespace {
+
+FleetOptions faulty_fleet() {
+  FleetOptions options;
+  options.devices = 6;
+  options.shards = 2;
+  options.rounds = 3;
+  options.round_duration = SimTime::from_seconds(20.0);
+  options.episode_length = SimTime::from_seconds(10.0);
+  options.base_seed = 777;
+  options.sync_spread = 2;
+  options.faults.seed = 42;
+  options.faults.dropout_rate = 0.3;
+  options.faults.upload_corruption_rate = 0.5;
+  return options;
+}
+
+TEST(FleetFaults, FaultedRunIsDeterministicAcrossWorkerCounts) {
+  const FleetOptions options = faulty_fleet();
+  const FleetResult serial = train_fleet(workload::AppId::kFacebook, options, {.workers = 1});
+  const FleetResult pooled = train_fleet(workload::AppId::kFacebook, options, {.workers = 4});
+  EXPECT_TRUE(serial.global == pooled.global);
+  EXPECT_EQ(serial.total_decisions, pooled.total_decisions);
+  EXPECT_EQ(serial.dropped_device_rounds, pooled.dropped_device_rounds);
+  EXPECT_EQ(serial.rejected_uploads, pooled.rejected_uploads);
+}
+
+TEST(FleetFaults, DropoutActuallyDropsDevicesAndChangesTheRun) {
+  FleetOptions options = faulty_fleet();
+  options.faults.upload_corruption_rate = 0.0;
+  const FleetResult faulted = train_fleet(workload::AppId::kFacebook, options);
+  EXPECT_GT(faulted.dropped_device_rounds, 0u);
+  EXPECT_EQ(faulted.rejected_uploads, 0u);
+  options.faults.dropout_rate = 0.0;
+  const FleetResult clean = train_fleet(workload::AppId::kFacebook, options);
+  EXPECT_EQ(clean.dropped_device_rounds, 0u);
+  // Losing device-rounds must cost training data.
+  EXPECT_LT(faulted.total_decisions, clean.total_decisions);
+  EXPECT_FALSE(faulted.global == clean.global);
+}
+
+TEST(FleetFaults, CorruptedUploadsAreRejectedNotAbsorbed) {
+  FleetOptions options = faulty_fleet();
+  options.faults.dropout_rate = 0.0;
+  options.faults.upload_corruption_rate = 1.0;  // every upload arrives damaged
+  options.rounds = 2;
+  // Every upload is rejected, the server never hears from anyone, and the
+  // run ends with a descriptive error instead of a bogus aggregate.
+  try {
+    (void)train_fleet(workload::AppId::kFacebook, options);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("no upload ever reached the server"),
+              std::string::npos)
+        << e.what();
+  }
+  // At a partial corruption rate the run completes, counts its rejections,
+  // and still produces a deployable aggregate from the surviving uploads.
+  options.faults.upload_corruption_rate = 0.5;
+  options.rounds = 4;
+  const FleetResult result = train_fleet(workload::AppId::kFacebook, options);
+  EXPECT_GT(result.rejected_uploads, 0u);
+  EXPECT_GT(result.global.state_count(), 0u);
+}
+
+TEST(FleetFaults, RoundStatsReportFaults) {
+  const FleetOptions options = faulty_fleet();
+  std::size_t dropped = 0;
+  std::size_t rejected = 0;
+  const FleetResult result =
+      train_fleet(workload::AppId::kFacebook, options, {},
+                  [&](const FleetRoundStats& stats) {
+                    dropped += stats.dropped_devices;
+                    rejected += stats.rejected_uploads;
+                  });
+  EXPECT_EQ(dropped, result.dropped_device_rounds);
+  EXPECT_EQ(rejected, result.rejected_uploads);
+}
+
+TEST(FleetFaults, CrashAndResumeComposeWithFaults) {
+  // A fleet with active dropout + corruption, killed at round 1 and resumed
+  // from its snapshot, must land on exactly the uninterrupted run's bytes -
+  // fault draws are (round, index)-keyed, so they replay identically.
+  const std::string path = ::testing::TempDir() + "/nextgov_faulty_fleet_snap.bin";
+  FleetOptions options = faulty_fleet();
+  options.faults.upload_corruption_rate = 0.3;
+  const FleetResult uninterrupted = train_fleet(workload::AppId::kFacebook, options);
+
+  FleetOptions crashing = options;
+  crashing.snapshot_every = 1;
+  crashing.snapshot_path = path;
+  crashing.faults.crash_at_round = 1;
+  EXPECT_THROW((void)train_fleet(workload::AppId::kFacebook, crashing), FleetCrash);
+
+  FleetOptions resumed = options;
+  resumed.resume_from = path;
+  const FleetResult result = train_fleet(workload::AppId::kFacebook, resumed);
+  EXPECT_EQ(result.start_round, 2u);
+  EXPECT_TRUE(result.global == uninterrupted.global);
+  EXPECT_EQ(result.total_decisions, uninterrupted.total_decisions);
+  EXPECT_EQ(result.dropped_device_rounds, uninterrupted.dropped_device_rounds);
+  EXPECT_EQ(result.rejected_uploads, uninterrupted.rejected_uploads);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nextgov::sim

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "rl/qtable.hpp"
@@ -71,6 +73,71 @@ TEST(QTable, ClearResetsEverything) {
   EXPECT_EQ(t.total_visits(), 0u);
 }
 
+TEST(QTable, EqualityIsExact) {
+  QTable a{3};
+  QTable b{3};
+  EXPECT_TRUE(a == b);
+  a.set_q(5, 1, 0.25);
+  EXPECT_FALSE(a == b);
+  b.set_q(5, 1, 0.25);
+  EXPECT_TRUE(a == b);
+  // Visit mass participates: same values, different history -> unequal.
+  a.record_visit(5);
+  EXPECT_FALSE(a == b);
+  b.record_visit(5);
+  EXPECT_TRUE(a == b);
+  // Action count and default participate too.
+  EXPECT_FALSE(QTable{3} == QTable{4});
+  EXPECT_FALSE((QTable{3, 0.0}) == (QTable{3, 1.0}));
+}
+
+TEST(QTable, EqualityIgnoresInsertionOrder) {
+  QTable a{2};
+  QTable b{2};
+  a.set_q(1, 0, 0.1);
+  a.set_q(2, 0, 0.2);
+  b.set_q(2, 0, 0.2);
+  b.set_q(1, 0, 0.1);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+}
+
+TEST(QTable, SerializationIsCanonical) {
+  // Equal tables must produce identical bytes regardless of the order
+  // states were learned in - fleet resume golden tests compare snapshots
+  // byte-for-byte.
+  QTable a{2};
+  QTable b{2};
+  for (StateKey s = 0; s < 20; ++s) a.set_q(s * 7, 1, 0.1 * static_cast<double>(s));
+  for (StateKey s = 20; s-- > 0;) b.set_q(s * 7, 1, 0.1 * static_cast<double>(s));
+  ByteWriter wa;
+  ByteWriter wb;
+  a.serialize(wa);
+  b.serialize(wb);
+  EXPECT_EQ(wa.data(), wb.data());
+}
+
+TEST(QTable, DeserializeRoundTripsExactly) {
+  QTable t{5, 0.5};
+  for (StateKey s = 0; s < 30; ++s) {
+    t.set_q(s * 31, s % 5, static_cast<double>(s) * 0.01);
+    t.add_visits(s * 31, s);
+  }
+  ByteWriter w;
+  t.serialize(w);
+  ByteReader r{w.data(), "test"};
+  const QTable back = QTable::deserialize(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_TRUE(back == t);
+}
+
+TEST(QTable, DeserializeRejectsImplausibleHeaders) {
+  ByteWriter w;
+  w.u64(0);  // zero actions
+  ByteReader r{w.data(), "test"};
+  EXPECT_THROW((void)QTable::deserialize(r), SerializeError);
+}
+
 class QTablePersistence : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
@@ -105,6 +172,42 @@ TEST_F(QTablePersistence, LoadRejectsGarbage) {
     std::fclose(f);
   }
   EXPECT_THROW(QTable::load(path_), IoError);
+}
+
+TEST_F(QTablePersistence, LoadRejectsCorruptedAndTruncatedFiles) {
+  QTable t{4};
+  for (StateKey s = 0; s < 10; ++s) t.set_q(s, s % 4, 0.5);
+  t.save(path_);
+  std::vector<unsigned char> good;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    int c;
+    while ((c = std::fgetc(f)) != EOF) good.push_back(static_cast<unsigned char>(c));
+    std::fclose(f);
+  }
+  const auto write_bytes = [&](const std::vector<unsigned char>& bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  };
+  // Flip one payload byte: the section CRC must catch it.
+  std::vector<unsigned char> flipped = good;
+  flipped[good.size() - 3] ^= 0x10;
+  write_bytes(flipped);
+  try {
+    (void)QTable::load(path_);
+    FAIL() << "expected SerializeError";
+  } catch (const SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC32"), std::string::npos) << e.what();
+  }
+  // Truncate: the framing must catch it.
+  write_bytes({good.begin(), good.begin() + static_cast<std::ptrdiff_t>(good.size() / 2)});
+  EXPECT_THROW((void)QTable::load(path_), SerializeError);
+  // And the original still loads.
+  write_bytes(good);
+  EXPECT_TRUE(QTable::load(path_) == t);
 }
 
 TEST_F(QTablePersistence, LoadMissingFileThrows) {

@@ -1,0 +1,128 @@
+// Golden test for the fleet checkpoint/restore contract: a run killed at
+// round K and resumed from its last snapshot must produce a final merged
+// Q-table *bit-identical* to the run that never stopped - equal by exact
+// operator== and equal as canonical serialized bytes. This is the
+// acceptance bar for the fault-tolerance layer; the CI crash-recovery
+// smoke step (examples/fleet_checkpoint.cpp) exercises the same contract
+// end to end through the filesystem.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+
+namespace nextgov::sim {
+namespace {
+
+FleetOptions golden_fleet() {
+  FleetOptions options;
+  options.devices = 4;
+  options.shards = 2;
+  options.rounds = 4;
+  options.round_duration = SimTime::from_seconds(30.0);
+  options.episode_length = SimTime::from_seconds(15.0);
+  options.base_seed = 2020;
+  options.sync_spread = 2;
+  return options;
+}
+
+std::vector<std::uint8_t> canonical_bytes(const rl::QTable& table) {
+  ByteWriter out;
+  table.serialize(out);
+  return out.data();
+}
+
+TEST(FleetResumeGolden, KilledAtRoundKResumesBitIdentically) {
+  const std::string path = ::testing::TempDir() + "/nextgov_fleet_resume_golden.bin";
+  const FleetOptions options = golden_fleet();
+  const FleetResult uninterrupted = train_fleet(workload::AppId::kFacebook, options);
+
+  // Same fleet, snapshotting every round, killed after round 1.
+  FleetOptions crashing = options;
+  crashing.snapshot_every = 1;
+  crashing.snapshot_path = path;
+  crashing.faults.crash_at_round = 1;
+  EXPECT_THROW((void)train_fleet(workload::AppId::kFacebook, crashing), FleetCrash);
+
+  // Resume from the snapshot the dead run left behind; the crash hook and
+  // snapshot cadence are dropped, everything else must match the snapshot.
+  FleetOptions resuming = options;
+  resuming.resume_from = path;
+  const FleetResult resumed = train_fleet(workload::AppId::kFacebook, resuming);
+  EXPECT_EQ(resumed.start_round, 2u);
+
+  // Bit-identical: exact equality and identical canonical serializations.
+  EXPECT_TRUE(resumed.global == uninterrupted.global);
+  EXPECT_EQ(canonical_bytes(resumed.global), canonical_bytes(uninterrupted.global));
+  ASSERT_EQ(resumed.shard_tables.size(), uninterrupted.shard_tables.size());
+  for (std::size_t s = 0; s < resumed.shard_tables.size(); ++s) {
+    EXPECT_TRUE(resumed.shard_tables[s] == uninterrupted.shard_tables[s]) << "shard " << s;
+    EXPECT_EQ(canonical_bytes(resumed.shard_tables[s]),
+              canonical_bytes(uninterrupted.shard_tables[s]))
+        << "shard " << s;
+  }
+  EXPECT_EQ(resumed.shard_last_upload, uninterrupted.shard_last_upload);
+  EXPECT_EQ(resumed.total_decisions, uninterrupted.total_decisions);
+  EXPECT_EQ(resumed.mean_final_reward, uninterrupted.mean_final_reward);
+  std::remove(path.c_str());
+}
+
+TEST(FleetResumeGolden, EveryCrashPointConvergesOnTheSameBytes) {
+  // Stronger sweep: whichever round the fleet dies after, resuming lands on
+  // the same final bytes - the round loop has no hidden cross-round state
+  // outside the snapshot.
+  const std::string path = ::testing::TempDir() + "/nextgov_fleet_resume_sweep.bin";
+  FleetOptions options = golden_fleet();
+  options.rounds = 3;
+  const FleetResult uninterrupted = train_fleet(workload::AppId::kFacebook, options);
+  const std::vector<std::uint8_t> golden = canonical_bytes(uninterrupted.global);
+  for (std::size_t k = 0; k + 1 < options.rounds; ++k) {
+    FleetOptions crashing = options;
+    crashing.snapshot_every = 1;
+    crashing.snapshot_path = path;
+    crashing.faults.crash_at_round = k;
+    EXPECT_THROW((void)train_fleet(workload::AppId::kFacebook, crashing), FleetCrash);
+    FleetOptions resuming = options;
+    resuming.resume_from = path;
+    const FleetResult resumed = train_fleet(workload::AppId::kFacebook, resuming);
+    EXPECT_EQ(resumed.start_round, k + 1);
+    EXPECT_EQ(canonical_bytes(resumed.global), golden) << "crashed after round " << k;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FleetResumeGolden, SnapshotFileBytesAreDeterministic) {
+  // The snapshot *file* is itself canonical: two identical runs write
+  // byte-identical snapshots (no timestamps, no map-order leakage).
+  const std::string path_a = ::testing::TempDir() + "/nextgov_fleet_snap_a.bin";
+  const std::string path_b = ::testing::TempDir() + "/nextgov_fleet_snap_b.bin";
+  FleetOptions options = golden_fleet();
+  options.rounds = 2;
+  options.snapshot_every = 2;
+  const auto read_all = [](const std::string& p) {
+    std::vector<unsigned char> bytes;
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    if (f != nullptr) {
+      int c;
+      while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<unsigned char>(c));
+      std::fclose(f);
+    }
+    return bytes;
+  };
+  options.snapshot_path = path_a;
+  (void)train_fleet(workload::AppId::kFacebook, options, {.workers = 1});
+  options.snapshot_path = path_b;
+  (void)train_fleet(workload::AppId::kFacebook, options, {.workers = 4});
+  const auto bytes_a = read_all(path_a);
+  const auto bytes_b = read_all(path_b);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace nextgov::sim

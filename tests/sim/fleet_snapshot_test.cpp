@@ -1,0 +1,128 @@
+// Unit tests for fleet checkpoint persistence (sim/fleet.hpp): snapshot
+// round trips, the recorded-options guard on resume, and corruption
+// rejection. The bit-identical crash/resume behavior of train_fleet itself
+// is pinned by tests/sim/fleet_resume_golden_test.cpp and the
+// fleet_checkpoint CI smoke step.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+
+namespace nextgov::sim {
+namespace {
+
+rl::QTable table_with(std::size_t actions, rl::StateKey base, std::size_t states) {
+  rl::QTable t{actions};
+  for (rl::StateKey s = 0; s < states; ++s) {
+    t.set_q(base + s, s % actions, 0.01 * static_cast<double>(s));
+    t.record_visit(base + s);
+  }
+  return t;
+}
+
+FleetSnapshot sample_snapshot() {
+  FleetSnapshot snap;
+  snap.next_round = 3;
+  snap.total_decisions = 1234;
+  snap.last_round_mean_reward = 0.625;
+  snap.dropped_device_rounds = 2;
+  snap.rejected_uploads = 1;
+  snap.shard_tables.push_back(table_with(9, 100, 5));
+  snap.shard_tables.push_back(std::nullopt);
+  snap.uploads.push_back(FleetUpload{table_with(9, 200, 4), 2});
+  snap.uploads.push_back(std::nullopt);
+  snap.shard_last_upload = {2, kNeverUploaded};
+  snap.last_aggregate = table_with(9, 300, 6);
+  return snap;
+}
+
+class FleetSnapshotFile : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/nextgov_fleet_snapshot_test.bin";
+  FleetOptions options_{};  // defaults are fine; only identity matters here
+};
+
+TEST_F(FleetSnapshotFile, RoundTripsAllState) {
+  const FleetSnapshot snap = sample_snapshot();
+  save_fleet_snapshot(snap, options_, path_);
+  const FleetSnapshot back = load_fleet_snapshot(path_);
+  EXPECT_EQ(back.next_round, snap.next_round);
+  EXPECT_EQ(back.total_decisions, snap.total_decisions);
+  EXPECT_EQ(back.last_round_mean_reward, snap.last_round_mean_reward);
+  EXPECT_EQ(back.dropped_device_rounds, snap.dropped_device_rounds);
+  EXPECT_EQ(back.rejected_uploads, snap.rejected_uploads);
+  ASSERT_EQ(back.shard_tables.size(), 2u);
+  ASSERT_TRUE(back.shard_tables[0].has_value());
+  EXPECT_TRUE(*back.shard_tables[0] == *snap.shard_tables[0]);
+  EXPECT_FALSE(back.shard_tables[1].has_value());
+  ASSERT_TRUE(back.uploads[0].has_value());
+  EXPECT_EQ(back.uploads[0]->round, 2u);
+  EXPECT_TRUE(back.uploads[0]->table == snap.uploads[0]->table);
+  EXPECT_FALSE(back.uploads[1].has_value());
+  EXPECT_EQ(back.shard_last_upload, snap.shard_last_upload);
+  ASSERT_TRUE(back.last_aggregate.has_value());
+  EXPECT_TRUE(*back.last_aggregate == *snap.last_aggregate);
+}
+
+TEST_F(FleetSnapshotFile, ResumeUnderDifferentOptionsIsRefused) {
+  save_fleet_snapshot(sample_snapshot(), options_, path_);
+  // Matching options pass the guard...
+  EXPECT_NO_THROW((void)load_fleet_snapshot(path_, options_));
+  // ...but any trajectory-determining difference is refused.
+  FleetOptions changed = options_;
+  changed.base_seed += 1;
+  EXPECT_THROW((void)load_fleet_snapshot(path_, changed), SerializeError);
+  changed = options_;
+  changed.devices += 1;
+  EXPECT_THROW((void)load_fleet_snapshot(path_, changed), SerializeError);
+  changed = options_;
+  changed.faults.dropout_rate = 0.5;
+  EXPECT_THROW((void)load_fleet_snapshot(path_, changed), SerializeError);
+  changed = options_;
+  changed.next_config.qlearning.alpha += 0.01;
+  EXPECT_THROW((void)load_fleet_snapshot(path_, changed), SerializeError);
+  // rounds and the crash/snapshot plumbing are deliberately NOT identity:
+  // a resumed run may extend the horizon and drop the crash hook.
+  changed = options_;
+  changed.rounds += 10;
+  changed.faults.crash_at_round = kNoCrashRound;
+  changed.snapshot_every = 0;
+  changed.resume_from = path_;
+  EXPECT_NO_THROW((void)load_fleet_snapshot(path_, changed));
+}
+
+TEST_F(FleetSnapshotFile, CorruptionAndTruncationAreRejected) {
+  save_fleet_snapshot(sample_snapshot(), options_, path_);
+  std::vector<unsigned char> good;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    int c;
+    while ((c = std::fgetc(f)) != EOF) good.push_back(static_cast<unsigned char>(c));
+    std::fclose(f);
+  }
+  std::vector<unsigned char> bad = good;
+  bad[bad.size() / 2] ^= 0x40;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bad.data(), 1, bad.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)load_fleet_snapshot(path_), SerializeError);
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(good.data(), 1, good.size() / 3, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)load_fleet_snapshot(path_), SerializeError);
+  EXPECT_THROW((void)load_fleet_snapshot(path_ + ".missing"), IoError);
+}
+
+}  // namespace
+}  // namespace nextgov::sim
