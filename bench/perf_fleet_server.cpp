@@ -1,0 +1,247 @@
+// perf_fleet_server - round latency and graceful degradation of the
+// event-driven fleet server (sim/fleet_server.hpp), the robustness-side
+// counterpart of perf_training's fixed-round fleet measurement.
+//
+// Writes bench_out/BENCH_fleet_server.json with:
+//
+//   1. calm-fleet round latency: mean wall seconds per round when every
+//      device is healthy (quorum fraction must be 1.0) - the server's
+//      steady-state overhead with no snapshot ring in the loop;
+//   2. degradation under churn: the same geometry with mid-round
+//      departures, stragglers and upload failures injected - quorum
+//      fraction, degraded (zero-quorum) rounds, late merges, carried
+//      uploads, retries, losses, and per-round wall time with the
+//      snapshot ring enabled (so the persisted-boundary cost is priced
+//      into the churny number, where a real deployment pays it);
+//   3. the ring-entry cost: bytes per boundary snapshot and the drain
+//      wall time;
+//   4. the bit-identity gate: the churny run repeated with a different
+//      worker-pool size must produce byte-identical global Q-tables
+//      (exit 1 otherwise), same contract the fleet tests pin.
+//
+// `--smoke` shrinks the geometry so CI can run it on every PR.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/fleet_server.hpp"
+#include "workload/apps.hpp"
+
+namespace {
+
+using namespace nextgov;
+using nextgov::bench::out_dir;
+using nextgov::bench::print_header;
+using nextgov::bench::wall_seconds;
+
+sim::FleetServerOptions base_options(std::size_t devices) {
+  sim::FleetServerOptions options;
+  options.devices = devices;
+  options.round_duration = SimTime::from_seconds(20.0);
+  options.round_deadline = SimTime::from_seconds(40.0);
+  options.episode_length = SimTime::from_seconds(10.0);
+  options.heartbeat_period = SimTime::from_seconds(2.0);
+  options.lease_timeout = SimTime::from_seconds(5.0);
+  options.upload_latency = SimTime::from_seconds(1.0);
+  options.retry_backoff = SimTime::from_seconds(2.0);
+  options.base_seed = 5150;
+  return options;
+}
+
+struct RunSummary {
+  std::vector<sim::FleetServerRoundStats> rounds;
+  sim::FleetServerStats stats;
+  std::vector<std::uint8_t> table_bytes;
+  std::size_t global_states{0};
+  double wall_s{0.0};
+
+  [[nodiscard]] double mean_round_wall_s() const {
+    if (rounds.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& rs : rounds) sum += rs.wall_seconds;
+    return sum / static_cast<double>(rounds.size());
+  }
+  [[nodiscard]] double quorum_fraction(std::size_t devices) const {
+    if (rounds.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& rs : rounds) {
+      sum += static_cast<double>(rs.quorum) / static_cast<double>(devices);
+    }
+    return sum / static_cast<double>(rounds.size());
+  }
+  [[nodiscard]] std::size_t degraded_rounds() const {
+    std::size_t n = 0;
+    for (const auto& rs : rounds) {
+      if (rs.quorum == 0) ++n;
+    }
+    return n;
+  }
+};
+
+RunSummary run_server(const sim::FleetServerOptions& options, std::size_t rounds,
+                      std::size_t workers) {
+  RunSummary summary;
+  sim::FleetServer server{workload::AppId::kLineage, options, {.workers = workers}};
+  summary.wall_s = wall_seconds([&] {
+    server.run_rounds(rounds, [&](const sim::FleetServerRoundStats& rs) {
+      summary.rounds.push_back(rs);
+    });
+  });
+  summary.stats = server.stats();
+  if (server.global() != nullptr) {
+    summary.global_states = server.global()->state_count();
+    ByteWriter bytes;
+    server.global()->serialize(bytes);
+    summary.table_bytes = bytes.data();
+  }
+  return summary;
+}
+
+std::size_t file_bytes(const std::string& path) {
+  std::size_t n = 0;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    n = static_cast<std::size_t>(std::ftell(f));
+    std::fclose(f);
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  print_header("perf", smoke ? "fleet server round latency + churn degradation (smoke mode)"
+                             : "fleet server round latency + churn degradation");
+
+  const std::size_t devices = smoke ? 3 : 6;
+  const std::size_t rounds = smoke ? 3 : 6;
+  const std::size_t ring_size = 3;
+
+  // --- calm fleet: pure round latency, no ring ----------------------------
+  const sim::FleetServerOptions calm = base_options(devices);
+  const RunSummary calm_run = run_server(calm, rounds, 4);
+  std::printf("  calm:  %zu devices x %zu rounds, quorum %.2f, %.3f s/round "
+              "-> %zu global states\n",
+              devices, rounds, calm_run.quorum_fraction(devices),
+              calm_run.mean_round_wall_s(), calm_run.global_states);
+
+  // --- churny fleet: degradation + ring cost ------------------------------
+  sim::FleetServerOptions churny = base_options(devices);
+  churny.churn.depart_rate = 0.25;
+  churny.churn.straggle_rate = 0.3;
+  churny.churn.upload_fail_rate = 0.3;
+  churny.churn.rejoin_after_rounds = 1;
+  churny.snapshot_ring = ring_size;
+  churny.snapshot_prefix = out_dir() + "/perf_fleet_server.ring";
+  for (std::size_t slot = 0; slot < ring_size; ++slot) {
+    std::remove((churny.snapshot_prefix + "." + std::to_string(slot)).c_str());
+  }
+  const RunSummary churny_run = run_server(churny, rounds, 4);
+  std::size_t carried = 0;
+  std::size_t retries = 0;
+  for (const auto& rs : churny_run.rounds) {
+    carried += rs.carried_late;
+    retries += rs.retries;
+  }
+  std::printf("  churn: quorum %.2f (%zu degraded rounds), late %llu, carried %zu, "
+              "retries %zu, lost %llu, departures %llu, %.3f s/round\n",
+              churny_run.quorum_fraction(devices), churny_run.degraded_rounds(),
+              static_cast<unsigned long long>(churny_run.stats.late_uploads_merged),
+              carried, retries,
+              static_cast<unsigned long long>(churny_run.stats.uploads_lost),
+              static_cast<unsigned long long>(churny_run.stats.departures),
+              churny_run.mean_round_wall_s());
+
+  // --- ring-entry cost ----------------------------------------------------
+  // The boundary after round r lands in slot (r+1) % ring, so the newest
+  // entry after `rounds` rounds sits at rounds % ring.
+  const std::size_t last_slot = rounds % ring_size;
+  const std::size_t ring_entry_bytes =
+      file_bytes(churny.snapshot_prefix + "." + std::to_string(last_slot));
+  double drain_s = 0.0;
+  {
+    sim::FleetServer server{workload::AppId::kLineage, churny, {.workers = 4}};
+    drain_s = wall_seconds([&] { server.drain(); });
+  }
+  std::printf("  ring:  %zu bytes/boundary snapshot, drain %.3f ms\n", ring_entry_bytes,
+              1e3 * drain_s);
+  for (std::size_t slot = 0; slot < ring_size; ++slot) {
+    std::remove((churny.snapshot_prefix + "." + std::to_string(slot)).c_str());
+  }
+
+  // --- bit-identity gate --------------------------------------------------
+  // The ring already holds the 4-worker run's boundaries; a fresh ring for
+  // the single-worker replay keeps the restore path out of the comparison.
+  sim::FleetServerOptions replay = churny;
+  replay.snapshot_ring = 0;
+  replay.snapshot_prefix.clear();
+  const RunSummary serial_run = run_server(replay, rounds, 1);
+  const bool bit_identical = !churny_run.table_bytes.empty() &&
+                             serial_run.table_bytes == churny_run.table_bytes &&
+                             serial_run.stats.uploads_accepted ==
+                                 churny_run.stats.uploads_accepted &&
+                             serial_run.stats.total_decisions ==
+                                 churny_run.stats.total_decisions;
+  std::printf("  bit-identity (1 vs 4 workers under churn): %s\n",
+              bit_identical ? "bit-identical" : "RESULTS DIVERGED");
+
+  // --- JSON trajectory file ----------------------------------------------
+  const std::string path = out_dir() + "/BENCH_fleet_server.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"perf_fleet_server\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"geometry\": {\n");
+  std::fprintf(out, "    \"devices\": %zu,\n", devices);
+  std::fprintf(out, "    \"rounds\": %zu,\n", rounds);
+  std::fprintf(out, "    \"round_duration_s\": %.1f,\n", calm.round_duration.seconds());
+  std::fprintf(out, "    \"round_deadline_s\": %.1f\n", calm.round_deadline.seconds());
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"calm\": {\n");
+  std::fprintf(out, "    \"mean_round_wall_s\": %.4f,\n", calm_run.mean_round_wall_s());
+  std::fprintf(out, "    \"quorum_fraction\": %.4f,\n", calm_run.quorum_fraction(devices));
+  std::fprintf(out, "    \"global_states\": %zu,\n", calm_run.global_states);
+  std::fprintf(out, "    \"total_decisions\": %llu\n",
+               static_cast<unsigned long long>(calm_run.stats.total_decisions));
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"churn\": {\n");
+  std::fprintf(out, "    \"depart_rate\": %.2f,\n", churny.churn.depart_rate);
+  std::fprintf(out, "    \"straggle_rate\": %.2f,\n", churny.churn.straggle_rate);
+  std::fprintf(out, "    \"upload_fail_rate\": %.2f,\n", churny.churn.upload_fail_rate);
+  std::fprintf(out, "    \"mean_round_wall_s\": %.4f,\n", churny_run.mean_round_wall_s());
+  std::fprintf(out, "    \"quorum_fraction\": %.4f,\n", churny_run.quorum_fraction(devices));
+  std::fprintf(out, "    \"degraded_rounds\": %zu,\n", churny_run.degraded_rounds());
+  std::fprintf(out, "    \"late_uploads_merged\": %llu,\n",
+               static_cast<unsigned long long>(churny_run.stats.late_uploads_merged));
+  std::fprintf(out, "    \"carried_late_uploads\": %zu,\n", carried);
+  std::fprintf(out, "    \"upload_retries\": %zu,\n", retries);
+  std::fprintf(out, "    \"uploads_lost\": %llu,\n",
+               static_cast<unsigned long long>(churny_run.stats.uploads_lost));
+  std::fprintf(out, "    \"departures\": %llu,\n",
+               static_cast<unsigned long long>(churny_run.stats.departures));
+  std::fprintf(out, "    \"global_states\": %zu,\n", churny_run.global_states);
+  std::fprintf(out, "    \"total_decisions\": %llu\n",
+               static_cast<unsigned long long>(churny_run.stats.total_decisions));
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"ring\": {\n");
+  std::fprintf(out, "    \"size\": %zu,\n", ring_size);
+  std::fprintf(out, "    \"entry_bytes\": %zu,\n", ring_entry_bytes);
+  std::fprintf(out, "    \"drain_ms\": %.3f\n", 1e3 * drain_s);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"determinism\": {\n");
+  std::fprintf(out, "    \"workers\": [1, 4],\n");
+  std::fprintf(out, "    \"bit_identical\": %s\n", bit_identical ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("  -> %s\n\n", path.c_str());
+  return bit_identical ? 0 : 1;
+}

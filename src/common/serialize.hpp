@@ -103,9 +103,15 @@ class ByteReader {
 };
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4e585353;  // "NXSS"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
-/// Oldest container version the reader still accepts (read-back-one once
-/// kSnapshotVersion moves past 1).
+/// Version 2 (fleet-server era): fleet snapshots may carry an additional
+/// `server_state` section (device leases, deadline clock, pending late
+/// uploads - see sim/fleet.hpp). The container framing itself is unchanged;
+/// version-1 files simply lack the section and decode through the same
+/// path with the server fields defaulted.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Oldest container version the reader still accepts (read-back-one: a
+/// rolling fleet upgrade can always restore the previous release's
+/// checkpoints).
 inline constexpr std::uint32_t kSnapshotVersionMin = 1;
 
 /// Assembles a sectioned snapshot. Sections are written in call order;

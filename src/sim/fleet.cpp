@@ -1,30 +1,18 @@
 #include "sim/fleet.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 
 namespace nextgov::sim {
 
 namespace {
-
-/// Copy of `table` carrying its action values and tried masks but no
-/// visit mass. Devices warm-start from this, so a round's shard merge
-/// counts historical visit mass exactly once - via the previous aggregate
-/// itself - instead of once per device (which would inflate it by the
-/// shard size every round and swamp the staleness weighting).
-rl::QTable strip_visits(const rl::QTable& table) {
-  rl::QTable out{table.action_count()};
-  for (const auto& [key, e] : table.entries()) {
-    for (std::size_t a = 0; a < table.action_count() && a < 32; ++a) {
-      if ((e.tried & (1u << a)) != 0) out.set_q(key, a, e.q[a]);
-    }
-  }
-  return out;
-}
 
 /// Staleness-weighted merge of the uploads the server has seen so far,
 /// aged relative to `current_round`.
@@ -78,6 +66,7 @@ void damage_upload(std::vector<std::uint8_t>& blob, const FleetFaultPlan& faults
 
 constexpr const char* kOptionsSection = "fleet_options";
 constexpr const char* kStateSection = "fleet_state";
+constexpr const char* kServerSection = "server_state";
 
 void write_optional_table(ByteWriter& out, const std::optional<rl::QTable>& table) {
   out.boolean(table.has_value());
@@ -91,22 +80,39 @@ std::optional<rl::QTable> read_optional_table(ByteReader& in) {
 
 }  // namespace
 
-void encode_fleet_options(const FleetOptions& options, ByteWriter& out) {
-  out.u64(static_cast<std::uint64_t>(options.devices));
-  out.u64(static_cast<std::uint64_t>(options.shards));
-  out.i64(options.round_duration.us());
-  out.i64(options.episode_length.us());
-  out.u64(options.base_seed);
-  out.f64(options.ambient.value());
-  out.u64(static_cast<std::uint64_t>(options.sync_spread));
-  out.f64(options.merge_policy.half_life_rounds);
-  out.u64(options.faults.seed);
-  out.f64(options.faults.dropout_rate);
-  out.f64(options.faults.upload_corruption_rate);
-  // NextConfig, field by field: the agent's whole trajectory depends on
-  // these, so a resume under a different agent configuration must be
-  // rejected rather than silently diverge from the snapshotted run.
-  const core::NextConfig& c = options.next_config;
+rl::QTable strip_visit_mass(const rl::QTable& table) {
+  rl::QTable out{table.action_count()};
+  for (const auto& [key, e] : table.entries()) {
+    for (std::size_t a = 0; a < table.action_count() && a < 32; ++a) {
+      if ((e.tried & (1u << a)) != 0) out.set_q(key, a, e.q[a]);
+    }
+  }
+  return out;
+}
+
+void validate_fleet_options(const FleetOptions& options) {
+  require(options.devices > 0, "FleetOptions: devices must be >= 1 (an empty fleet trains nothing)");
+  require(options.shards > 0, "FleetOptions: shards must be >= 1");
+  require(options.shards <= options.devices,
+          "FleetOptions: more shards than devices - at least one shard would stay empty "
+          "every round");
+  require(options.rounds > 0, "FleetOptions: rounds must be >= 1");
+  require(options.round_duration.us() > 0, "FleetOptions: round_duration must be positive");
+  require(options.episode_length.us() > 0, "FleetOptions: episode_length must be positive");
+  require(options.sync_spread > 0,
+          "FleetOptions: sync_spread must be >= 1 (shard s syncs every 1 + s mod "
+          "sync_spread rounds; 0 would make every cadence undefined)");
+  require(options.faults.dropout_rate >= 0.0 && options.faults.dropout_rate < 1.0,
+          "FleetOptions: faults.dropout_rate must be in [0, 1)");
+  require(options.faults.upload_corruption_rate >= 0.0 &&
+              options.faults.upload_corruption_rate <= 1.0,
+          "FleetOptions: faults.upload_corruption_rate must be in [0, 1]");
+  require(options.snapshot_every == 0 || !options.snapshot_path.empty(),
+          "FleetOptions: snapshot_every is set but snapshot_path is empty - there is "
+          "nowhere to persist the checkpoint");
+}
+
+void encode_next_config(const core::NextConfig& c, ByteWriter& out) {
   out.i64(c.sample_period.us());
   out.i64(c.frame_window.us());
   out.i64(c.control_period.us());
@@ -142,12 +148,27 @@ void encode_fleet_options(const FleetOptions& options, ByteWriter& out) {
   out.u64(static_cast<std::uint64_t>(c.cap_down_step));
 }
 
-void save_fleet_snapshot(const FleetSnapshot& snapshot, const FleetOptions& options,
-                         const std::string& path) {
+void encode_fleet_options(const FleetOptions& options, ByteWriter& out) {
+  out.u64(static_cast<std::uint64_t>(options.devices));
+  out.u64(static_cast<std::uint64_t>(options.shards));
+  out.i64(options.round_duration.us());
+  out.i64(options.episode_length.us());
+  out.u64(options.base_seed);
+  out.f64(options.ambient.value());
+  out.u64(static_cast<std::uint64_t>(options.sync_spread));
+  out.f64(options.merge_policy.half_life_rounds);
+  out.u64(options.faults.seed);
+  out.f64(options.faults.dropout_rate);
+  out.f64(options.faults.upload_corruption_rate);
+  // NextConfig, field by field: the agent's whole trajectory depends on
+  // these, so a resume under a different agent configuration must be
+  // rejected rather than silently diverge from the snapshotted run.
+  encode_next_config(options.next_config, out);
+}
+
+void write_fleet_state_sections(SnapshotWriter& out, const FleetSnapshot& snapshot) {
   NEXTGOV_ASSERT(snapshot.shard_tables.size() == snapshot.uploads.size());
   NEXTGOV_ASSERT(snapshot.shard_tables.size() == snapshot.shard_last_upload.size());
-  SnapshotWriter out;
-  encode_fleet_options(options, out.section(kOptionsSection));
   ByteWriter& state = out.section(kStateSection);
   state.u64(static_cast<std::uint64_t>(snapshot.next_round));
   state.u64(snapshot.total_decisions);
@@ -165,11 +186,35 @@ void save_fleet_snapshot(const FleetSnapshot& snapshot, const FleetOptions& opti
     state.u64(static_cast<std::uint64_t>(snapshot.shard_last_upload[s]));
   }
   write_optional_table(state, snapshot.last_aggregate);
-  out.write_file(path);
+  if (!snapshot.has_server_state) return;
+  // Version-2 extension: the long-running server's lease / deadline /
+  // pending-upload state (see fleet_server.hpp). A separate section keeps
+  // the version-1 "fleet_state" layout byte-stable.
+  ByteWriter& server = out.section(kServerSection);
+  server.i64(snapshot.server_clock_us);
+  server.u32(static_cast<std::uint32_t>(snapshot.leases.size()));
+  for (const DeviceLease& lease : snapshot.leases) {
+    server.boolean(lease.active);
+    server.u64(static_cast<std::uint64_t>(lease.rejoin_round));
+  }
+  server.u32(static_cast<std::uint32_t>(snapshot.pending_uploads.size()));
+  for (const PendingUpload& pending : snapshot.pending_uploads) {
+    server.u64(static_cast<std::uint64_t>(pending.device));
+    server.u64(static_cast<std::uint64_t>(pending.trained_round));
+    server.i64(pending.arrival_us);
+    server.u32(pending.attempts_used);
+    pending.table.serialize(server);
+  }
+  const FleetSnapshot::ServerCounters& c = snapshot.server_counters;
+  server.u64(c.rounds_served);
+  server.u64(c.uploads_accepted);
+  server.u64(c.uploads_retried);
+  server.u64(c.uploads_lost);
+  server.u64(c.late_uploads_merged);
+  server.u64(c.departures);
 }
 
-FleetSnapshot load_fleet_snapshot(const std::string& path) {
-  const SnapshotReader snapshot = SnapshotReader::from_file(path);
+FleetSnapshot read_fleet_state_sections(const SnapshotReader& snapshot) {
   ByteReader in = snapshot.section(kStateSection);
   FleetSnapshot out;
   out.next_round = static_cast<std::size_t>(in.u64());
@@ -196,11 +241,82 @@ FleetSnapshot load_fleet_snapshot(const std::string& path) {
   }
   out.last_aggregate = read_optional_table(in);
   if (!in.done()) in.fail("trailing bytes after the fleet state payload");
+  if (!snapshot.has(kServerSection)) return out;  // v1 file or train_fleet checkpoint
+  ByteReader server = snapshot.section(kServerSection);
+  out.has_server_state = true;
+  out.server_clock_us = server.i64();
+  const std::uint32_t leases = server.u32();
+  if (leases > (1u << 20)) {
+    server.fail("corrupt fleet snapshot: implausible lease count " + std::to_string(leases));
+  }
+  out.leases.reserve(leases);
+  for (std::uint32_t d = 0; d < leases; ++d) {
+    DeviceLease lease;
+    lease.active = server.boolean();
+    lease.rejoin_round = static_cast<std::size_t>(server.u64());
+    out.leases.push_back(lease);
+  }
+  const std::uint32_t pending = server.u32();
+  if (pending > (1u << 20)) {
+    server.fail("corrupt fleet snapshot: implausible pending-upload count " +
+                std::to_string(pending));
+  }
+  out.pending_uploads.reserve(pending);
+  for (std::uint32_t i = 0; i < pending; ++i) {
+    const std::size_t device = static_cast<std::size_t>(server.u64());
+    const std::size_t trained_round = static_cast<std::size_t>(server.u64());
+    const std::int64_t arrival_us = server.i64();
+    const std::uint32_t attempts_used = server.u32();
+    out.pending_uploads.push_back(PendingUpload{device, trained_round, arrival_us,
+                                                attempts_used, rl::QTable::deserialize(server)});
+  }
+  FleetSnapshot::ServerCounters& c = out.server_counters;
+  c.rounds_served = server.u64();
+  c.uploads_accepted = server.u64();
+  c.uploads_retried = server.u64();
+  c.uploads_lost = server.u64();
+  c.late_uploads_merged = server.u64();
+  c.departures = server.u64();
+  if (!server.done()) server.fail("trailing bytes after the server state payload");
   return out;
 }
 
+SnapshotReader read_snapshot_quarantining(const std::string& path) {
+  try {
+    return SnapshotReader::from_file(path);
+  } catch (const SerializeError& e) {
+    // A version-window refusal is a *valid* file written by a different
+    // release: leave it in place so a matching build can still restore it.
+    if (std::string_view{e.what()}.find("format version") != std::string_view::npos) {
+      throw;
+    }
+    const std::string quarantined = path + ".corrupt";
+    if (std::rename(path.c_str(), quarantined.c_str()) == 0) {
+      NEXTGOV_LOG(kWarn) << "quarantined corrupt snapshot '" << path << "' -> '"
+                         << quarantined << "': " << e.what();
+      throw SerializeError(std::string{e.what()} + " (quarantined to " + quarantined + ")");
+    }
+    NEXTGOV_LOG(kWarn) << "corrupt snapshot '" << path
+                       << "' could not be quarantined (rename failed): " << e.what();
+    throw;
+  }
+}
+
+void save_fleet_snapshot(const FleetSnapshot& snapshot, const FleetOptions& options,
+                         const std::string& path) {
+  SnapshotWriter out;
+  encode_fleet_options(options, out.section(kOptionsSection));
+  write_fleet_state_sections(out, snapshot);
+  out.write_file(path);
+}
+
+FleetSnapshot load_fleet_snapshot(const std::string& path) {
+  const SnapshotReader snapshot = read_snapshot_quarantining(path);
+  return read_fleet_state_sections(snapshot);
+}
+
 FleetSnapshot load_fleet_snapshot(const std::string& path, const FleetOptions& expected) {
-  const SnapshotReader snapshot = SnapshotReader::from_file(path);
+  const SnapshotReader snapshot = read_snapshot_quarantining(path);
   ByteReader stored = snapshot.section(kOptionsSection);
   ByteWriter current;
   encode_fleet_options(expected, current);
@@ -214,24 +330,13 @@ FleetSnapshot load_fleet_snapshot(const std::string& path, const FleetOptions& e
                          "(devices/shards/seeds/durations/NextConfig/fault plan must all "
                          "match to resume bit-identically); refusing to resume");
   }
-  return load_fleet_snapshot(path);
+  return read_fleet_state_sections(snapshot);
 }
 
 FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
                         const RunnerOptions& runner, const FleetProgressFn& progress) {
   require(static_cast<bool>(app_factory), "train_fleet needs an app factory");
-  require(options.devices > 0, "train_fleet needs at least one device");
-  require(options.shards > 0, "train_fleet needs at least one shard");
-  require(options.shards <= options.devices, "train_fleet: more shards than devices");
-  require(options.rounds > 0, "train_fleet needs at least one round");
-  require(options.sync_spread > 0, "train_fleet: sync_spread must be >= 1");
-  require(options.faults.dropout_rate >= 0.0 && options.faults.dropout_rate < 1.0,
-          "train_fleet: dropout_rate must be in [0, 1)");
-  require(options.faults.upload_corruption_rate >= 0.0 &&
-              options.faults.upload_corruption_rate <= 1.0,
-          "train_fleet: upload_corruption_rate must be in [0, 1]");
-  require(options.snapshot_every == 0 || !options.snapshot_path.empty(),
-          "train_fleet: snapshot_every needs a snapshot_path");
+  validate_fleet_options(options);
 
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t n_shards = options.shards;
@@ -275,12 +380,13 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
   for (std::size_t round = start_round; round < options.rounds; ++round) {
     // 1. Every device that is online this round trains for one round,
     //    warm-started from its shard's aggregate (action values only - see
-    //    strip_visits), all cells fanned out across the shared worker pool.
+    //    strip_visit_mass), all cells fanned out across the shared worker
+    //    pool.
     //    Dropped devices simply contribute nothing - their shard's merge
     //    leans on older experience exactly like a real fleet's would.
     std::vector<std::optional<rl::QTable>> warm_starts(n_shards);
     for (std::size_t s = 0; s < n_shards; ++s) {
-      if (shard_tables[s].has_value()) warm_starts[s] = strip_visits(*shard_tables[s]);
+      if (shard_tables[s].has_value()) warm_starts[s] = strip_visit_mass(*shard_tables[s]);
     }
     TrainingPlan plan;
     std::vector<std::size_t> plan_device;  // device index per plan cell

@@ -167,6 +167,27 @@ struct FleetUpload {
   std::size_t round{0};
 };
 
+/// One device's lease as the long-running fleet server tracks it (snapshot
+/// container version 2; see sim/fleet_server.hpp). A device holds its lease
+/// by heartbeating; when heartbeats stop mid-round the lease expires, the
+/// server discards the device's in-flight round, and the device re-registers
+/// at `rejoin_round`.
+struct DeviceLease {
+  bool active{true};
+  std::size_t rejoin_round{0};  ///< first round a departed device re-registers
+};
+
+/// A late upload still in flight at a round boundary: accepted-in-principle
+/// bytes that will arrive (or keep retrying) during a later round. Persisted
+/// so a restarted server replays the exact same arrivals.
+struct PendingUpload {
+  std::size_t device{0};
+  std::size_t trained_round{0};    ///< round whose training produced the table
+  std::int64_t arrival_us{0};      ///< absolute simulated arrival time of the next attempt
+  std::uint32_t attempts_used{0};  ///< upload attempts already spent on this table
+  rl::QTable table;
+};
+
 /// The complete persistent state of a fleet between rounds - everything a
 /// resumed run needs to continue bit-identically. Serialized through the
 /// common snapshot container (magic, version, per-section CRC32), together
@@ -183,7 +204,37 @@ struct FleetSnapshot {
   std::vector<std::optional<FleetUpload>> uploads;
   std::vector<std::size_t> shard_last_upload;
   std::optional<rl::QTable> last_aggregate;
+
+  // --- fleet-server extension (container version 2) ------------------------
+  // Absent in version-1 files and in train_fleet checkpoints (where
+  // has_server_state stays false and nothing extra is written); the
+  // long-running FleetServer persists its lease/deadline/pending-upload
+  // state here so a kill -9 at any round boundary resumes bit-identically.
+  // For server snapshots `uploads`/`shard_last_upload` are *device*-indexed
+  // (the server aggregates per device, not per shard) and `shard_tables` is
+  // unused.
+  struct ServerCounters {
+    std::uint64_t rounds_served{0};
+    std::uint64_t uploads_accepted{0};
+    std::uint64_t uploads_retried{0};
+    std::uint64_t uploads_lost{0};
+    std::uint64_t late_uploads_merged{0};
+    std::uint64_t departures{0};
+  };
+  bool has_server_state{false};
+  std::vector<DeviceLease> leases;            ///< per device
+  std::vector<PendingUpload> pending_uploads;  ///< in flight across the boundary
+  std::int64_t server_clock_us{0};            ///< simulated clock at the boundary
+  ServerCounters server_counters;
 };
+
+/// Validates the geometry/cadence/fault/persistence fields of `options` and
+/// throws a descriptive ConfigError on the first violation (zero devices,
+/// zero shards or more shards than devices, zero rounds, sync_spread == 0,
+/// fault rates outside their ranges, snapshot_every set without a
+/// snapshot_path, ...). train_fleet() calls this up front so degenerate
+/// configurations fail fast instead of producing silent no-op runs.
+void validate_fleet_options(const FleetOptions& options);
 
 /// Canonical byte encoding of every FleetOptions field that determines the
 /// trajectory (devices/shards/seeds/durations/NextConfig/merge policy/fault
@@ -198,7 +249,10 @@ void save_fleet_snapshot(const FleetSnapshot& snapshot, const FleetOptions& opti
 
 /// Loads and validates a fleet snapshot. Throws IoError if unreadable and
 /// SerializeError (with a descriptive message) on bad magic, unsupported
-/// version, truncation or CRC mismatch.
+/// version, truncation or CRC mismatch. A file that fails validation for
+/// corruption (as opposed to a version-window refusal) is *quarantined*:
+/// renamed to `<path>.corrupt` and logged via common/log, so a damaged
+/// snapshot cannot sit at `path` failing every restart.
 [[nodiscard]] FleetSnapshot load_fleet_snapshot(const std::string& path);
 
 /// Same, but additionally requires the snapshot's recorded options to match
@@ -217,5 +271,38 @@ void save_fleet_snapshot(const FleetSnapshot& snapshot, const FleetOptions& opti
 [[nodiscard]] FleetResult train_fleet(workload::AppId app, const FleetOptions& options,
                                       const RunnerOptions& runner = {},
                                       const FleetProgressFn& progress = {});
+
+// --- snapshot plumbing shared with the long-running server -----------------
+// (sim/fleet_server.hpp composes its own snapshot container - server options
+// + the fleet state + the server extension - from the same codec, so the two
+// persistence paths can never drift.)
+
+/// Canonical encoding of a NextConfig (every field the agent's trajectory
+/// depends on). Part of the options-identity blob of both fleet and
+/// fleet-server snapshots.
+void encode_next_config(const core::NextConfig& config, ByteWriter& out);
+
+/// Writes the "fleet_state" section (and, when snapshot.has_server_state,
+/// the version-2 "server_state" section) into `out`.
+void write_fleet_state_sections(SnapshotWriter& out, const FleetSnapshot& snapshot);
+
+/// Decodes what write_fleet_state_sections() wrote. Version-1 containers
+/// (no "server_state" section) decode with the server fields defaulted.
+[[nodiscard]] FleetSnapshot read_fleet_state_sections(const SnapshotReader& in);
+
+/// Reads and fully validates the snapshot container at `path`. On a
+/// corruption failure (bad magic, truncation, CRC mismatch) the damaged
+/// file is renamed to `<path>.corrupt`, the rename is logged via
+/// common/log, and the SerializeError is rethrown naming the quarantine
+/// location. Version-window refusals do NOT quarantine: the file is valid,
+/// just written by a different release.
+[[nodiscard]] SnapshotReader read_snapshot_quarantining(const std::string& path);
+
+/// Copy of `table` carrying its action values and tried masks but no visit
+/// mass. Warm-starting devices from this keeps historical visit mass
+/// counted exactly once - via the aggregate itself - instead of once per
+/// device, which would inflate it by the fleet size every round and swamp
+/// the staleness weighting.
+[[nodiscard]] rl::QTable strip_visit_mass(const rl::QTable& table);
 
 }  // namespace nextgov::sim

@@ -1,0 +1,512 @@
+#include "sim/fleet_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace nextgov::sim {
+
+namespace {
+
+// --- churn draws -----------------------------------------------------------
+//
+// Every draw opens its own SplitMix64 stream keyed by
+// derive_seed chains over (churn seed ^ salt, round, device[, attempt]), so
+// draws are independent of each other, of worker count, and of how many
+// rounds the process has replayed - a restarted server redraws the exact
+// same churn.
+
+constexpr std::uint64_t kDepartSalt = 0xDE9Au;
+constexpr std::uint64_t kStraggleSalt = 0x57A6u;
+constexpr std::uint64_t kUploadFailSalt = 0xF41Cu;
+
+constexpr const char* kServerOptionsSection = "fleet_server_options";
+
+SplitMix64 churn_stream(std::uint64_t seed, std::uint64_t salt, std::size_t round,
+                        std::size_t device) {
+  return SplitMix64{derive_seed(derive_seed(seed ^ salt, round), device)};
+}
+
+SplitMix64 attempt_stream(std::uint64_t seed, std::size_t round, std::size_t device,
+                          std::uint32_t attempt) {
+  return SplitMix64{derive_seed(
+      derive_seed(derive_seed(seed ^ kUploadFailSalt, round), device), attempt)};
+}
+
+bool bernoulli(SplitMix64& sm, double rate) {
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+/// Damages an encoded upload in-place (even draws flip a byte, odd draws
+/// truncate - both always detected by the container's CRC/length checks).
+void damage_blob(std::vector<std::uint8_t>& blob, SplitMix64& sm) {
+  const std::uint64_t kind = sm.next();
+  if (blob.empty()) return;
+  if (kind % 2 == 0) {
+    const std::size_t at = static_cast<std::size_t>(sm.next() % blob.size());
+    blob[at] ^= static_cast<std::uint8_t>(1 + sm.next() % 255);
+  } else {
+    blob.resize(blob.size() / 2);
+  }
+}
+
+// --- the round's event loop ------------------------------------------------
+
+struct Event {
+  std::int64_t t_us{0};
+  enum Kind : int { kLeaseExpiry = 0, kUploadArrival = 1 };
+  int kind{kUploadArrival};
+  std::size_t device{0};
+  std::size_t trained_round{0};
+  std::uint32_t attempt{0};
+  std::size_t table{0};  ///< arena index (upload events only)
+};
+
+/// Min-heap order: time, then a total tiebreak so processing order is
+/// deterministic (lease expiries before arrivals at the same instant - an
+/// upload from a device whose lease just died must not land).
+bool later(const Event& a, const Event& b) {
+  return std::tie(a.t_us, a.kind, a.device, a.trained_round, a.attempt) >
+         std::tie(b.t_us, b.kind, b.device, b.trained_round, b.attempt);
+}
+
+}  // namespace
+
+void validate_fleet_server_options(const FleetServerOptions& o) {
+  require(o.devices > 0,
+          "FleetServerOptions: devices must be >= 1 (an empty fleet serves nothing)");
+  require(o.round_duration.us() > 0, "FleetServerOptions: round_duration must be positive");
+  require(o.episode_length.us() > 0, "FleetServerOptions: episode_length must be positive");
+  require(o.heartbeat_period.us() > 0,
+          "FleetServerOptions: heartbeat_period must be positive");
+  require(o.lease_timeout.us() >= o.heartbeat_period.us(),
+          "FleetServerOptions: lease_timeout shorter than heartbeat_period would expire "
+          "every healthy lease between heartbeats");
+  require(o.upload_latency.us() >= 0, "FleetServerOptions: upload_latency must be >= 0");
+  require(o.retry_backoff.us() > 0, "FleetServerOptions: retry_backoff must be positive");
+  require(o.max_upload_attempts >= 1,
+          "FleetServerOptions: max_upload_attempts must be >= 1");
+  require(o.round_deadline.us() > o.round_duration.us() + o.upload_latency.us(),
+          "FleetServerOptions: round_deadline must exceed round_duration + upload_latency "
+          "or no clean upload could ever beat the straggler deadline");
+  require(o.round_duration.us() + o.lease_timeout.us() <= o.round_deadline.us(),
+          "FleetServerOptions: round_duration + lease_timeout must fit inside "
+          "round_deadline so every lease expiry resolves within its round (boundary "
+          "snapshots must never hold a half-expired lease)");
+  require(o.churn.depart_rate >= 0.0 && o.churn.depart_rate < 1.0,
+          "FleetServerOptions: churn.depart_rate must be in [0, 1)");
+  require(o.churn.straggle_rate >= 0.0 && o.churn.straggle_rate <= 1.0,
+          "FleetServerOptions: churn.straggle_rate must be in [0, 1]");
+  require(o.churn.upload_fail_rate >= 0.0 && o.churn.upload_fail_rate < 1.0,
+          "FleetServerOptions: churn.upload_fail_rate must be in [0, 1) (at 1.0 every "
+          "attempt of every upload fails and the server can never learn)");
+  require(o.churn.rejoin_after_rounds >= 1,
+          "FleetServerOptions: churn.rejoin_after_rounds must be >= 1 (a device cannot "
+          "rejoin the round it departed)");
+  require(o.snapshot_ring == 0 || !o.snapshot_prefix.empty(),
+          "FleetServerOptions: snapshot_ring is set but snapshot_prefix is empty - there "
+          "is nowhere to persist the ring");
+}
+
+void encode_fleet_server_options(const FleetServerOptions& o, ByteWriter& out) {
+  out.u64(static_cast<std::uint64_t>(o.devices));
+  out.i64(o.round_duration.us());
+  out.i64(o.round_deadline.us());
+  out.i64(o.episode_length.us());
+  out.i64(o.heartbeat_period.us());
+  out.i64(o.lease_timeout.us());
+  out.i64(o.upload_latency.us());
+  out.i64(o.retry_backoff.us());
+  out.u32(o.max_upload_attempts);
+  out.u64(o.base_seed);
+  out.f64(o.ambient.value());
+  out.f64(o.merge_policy.half_life_rounds);
+  out.u64(o.churn.seed);
+  out.f64(o.churn.depart_rate);
+  out.u64(static_cast<std::uint64_t>(o.churn.rejoin_after_rounds));
+  out.f64(o.churn.straggle_rate);
+  out.f64(o.churn.upload_fail_rate);
+  encode_next_config(o.next_config, out);
+}
+
+FleetServer::FleetServer(AppFactory app_factory, const FleetServerOptions& options,
+                         const RunnerOptions& runner)
+    : app_factory_{std::move(app_factory)},
+      options_{options},
+      runner_{runner},
+      leases_(options.devices),
+      uploads_(options.devices) {
+  require(static_cast<bool>(app_factory_), "FleetServer needs an app factory");
+  validate_fleet_server_options(options_);
+  if (options_.snapshot_ring > 0) restore_from_ring();
+}
+
+FleetServer::FleetServer(workload::AppId app, const FleetServerOptions& options,
+                         const RunnerOptions& runner)
+    : FleetServer([app](std::uint64_t seed) { return workload::make_app(app, seed); },
+                  options, runner) {}
+
+std::string FleetServer::ring_path(std::size_t slot) const {
+  return options_.snapshot_prefix + "." + std::to_string(slot);
+}
+
+FleetSnapshot FleetServer::boundary_snapshot() const {
+  FleetSnapshot snap;
+  snap.next_round = round_;
+  snap.total_decisions = stats_.total_decisions;
+  snap.last_round_mean_reward = last_round_mean_reward_;
+  snap.dropped_device_rounds = 0;
+  snap.rejected_uploads = 0;
+  // Device-indexed reuse of the fleet-state arrays (see FleetSnapshot docs):
+  // the server aggregates per device, so `uploads` holds each device's last
+  // accepted table and `shard_tables` stays empty per slot.
+  snap.shard_tables.assign(options_.devices, std::nullopt);
+  snap.uploads = uploads_;
+  snap.shard_last_upload.assign(options_.devices, kNeverUploaded);
+  for (std::size_t d = 0; d < options_.devices; ++d) {
+    if (uploads_[d].has_value()) snap.shard_last_upload[d] = uploads_[d]->round;
+  }
+  snap.last_aggregate = last_aggregate_;
+  snap.has_server_state = true;
+  snap.leases = leases_;
+  snap.pending_uploads = pending_;
+  snap.server_clock_us = clock_us_;
+  snap.server_counters.rounds_served = stats_.rounds_served;
+  snap.server_counters.uploads_accepted = stats_.uploads_accepted;
+  snap.server_counters.uploads_retried = stats_.uploads_retried;
+  snap.server_counters.uploads_lost = stats_.uploads_lost;
+  snap.server_counters.late_uploads_merged = stats_.late_uploads_merged;
+  snap.server_counters.departures = stats_.departures;
+  return snap;
+}
+
+void FleetServer::write_ring_snapshot() {
+  if (options_.snapshot_ring == 0) return;
+  SnapshotWriter out;
+  encode_fleet_server_options(options_, out.section(kServerOptionsSection));
+  write_fleet_state_sections(out, boundary_snapshot());
+  out.write_file(ring_path(round_ % options_.snapshot_ring));
+  ++stats_.snapshots_written;
+}
+
+void FleetServer::drain() { write_ring_snapshot(); }
+
+void FleetServer::restore_from_ring() {
+  std::optional<FleetSnapshot> best;
+  for (std::size_t slot = 0; slot < options_.snapshot_ring; ++slot) {
+    const std::string path = ring_path(slot);
+    std::optional<SnapshotReader> reader;
+    try {
+      reader.emplace(read_snapshot_quarantining(path));
+    } catch (const SerializeError& e) {
+      // Damaged entry: already renamed to <path>.corrupt and logged; fall
+      // back to the next (older) ring entry. A version-window refusal is
+      // not quarantined but equally unusable by this build - skip it too.
+      if (std::string_view{e.what()}.find("quarantined to") != std::string_view::npos) {
+        ++stats_.snapshots_quarantined;
+      }
+      continue;
+    } catch (const IoError&) {
+      continue;  // slot never written (fresh ring or short run)
+    }
+    // Config identity gate, *outside* the recovery path: a mismatch means
+    // the operator restarted the server under different options, which must
+    // fail loudly rather than fall back to an older entry or quarantine a
+    // perfectly healthy file.
+    if (!reader->has(kServerOptionsSection)) {
+      throw SerializeError(path +
+                           ": not a fleet-server snapshot (missing the "
+                           "'fleet_server_options' section; train_fleet checkpoints are "
+                           "not interchangeable with the server ring)");
+    }
+    ByteReader stored = reader->section(kServerOptionsSection);
+    ByteWriter current;
+    encode_fleet_server_options(options_, current);
+    bool match = stored.remaining() == current.size();
+    for (std::size_t i = 0; match && i < current.size(); ++i) {
+      match = stored.u8() == current.data()[i];
+    }
+    if (!match) {
+      throw SerializeError(path +
+                           ": ring snapshot was taken under different fleet-server "
+                           "options (devices/timing/seeds/NextConfig/churn must all "
+                           "match to resume bit-identically); refusing to resume");
+    }
+    FleetSnapshot snap = read_fleet_state_sections(*reader);
+    if (!snap.has_server_state) {
+      throw SerializeError(path + ": fleet-server ring entry lacks the server_state "
+                                  "section (written by an incompatible tool?)");
+    }
+    if (!best.has_value() || snap.next_round > best->next_round) best = std::move(snap);
+  }
+  if (!best.has_value()) return;  // cold start at round 0
+  NEXTGOV_ASSERT(best->leases.size() == options_.devices);
+  NEXTGOV_ASSERT(best->uploads.size() == options_.devices);
+  round_ = best->next_round;
+  clock_us_ = best->server_clock_us;
+  leases_ = std::move(best->leases);
+  uploads_ = std::move(best->uploads);
+  pending_ = std::move(best->pending_uploads);
+  last_aggregate_ = std::move(best->last_aggregate);
+  last_round_mean_reward_ = best->last_round_mean_reward;
+  stats_.rounds_served = best->server_counters.rounds_served;
+  stats_.uploads_accepted = best->server_counters.uploads_accepted;
+  stats_.uploads_retried = best->server_counters.uploads_retried;
+  stats_.uploads_lost = best->server_counters.uploads_lost;
+  stats_.late_uploads_merged = best->server_counters.late_uploads_merged;
+  stats_.departures = best->server_counters.departures;
+  stats_.total_decisions = best->total_decisions;
+  restored_ = true;
+}
+
+void FleetServer::run_round(const FleetServerProgressFn& progress) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t r = round_;
+  const std::int64_t round_start =
+      static_cast<std::int64_t>(r) * options_.round_deadline.us();
+  const std::int64_t round_close = round_start + options_.round_deadline.us();
+  clock_us_ = round_start;
+
+  FleetServerRoundStats rs;
+  rs.round = r;
+
+  // 1. Re-registration: departed devices whose absence has run its course
+  //    take a fresh lease before the round starts.
+  for (std::size_t d = 0; d < options_.devices; ++d) {
+    if (!leases_[d].active && leases_[d].rejoin_round <= r) {
+      leases_[d] = DeviceLease{};
+      ++rs.rejoined;
+      ++stats_.rejoins;
+    }
+  }
+
+  // 2. Churn draws + event seeding. A departing device stops heartbeating
+  //    at a seeded instant inside its training window; the server notices
+  //    at the last heartbeat + lease_timeout. It never contributes a
+  //    partial table - its training cell is simply not scheduled (the
+  //    result could never be uploaded, and a pure-function fleet has no
+  //    half-trained state to leak).
+  std::vector<Event> heap;
+  std::vector<rl::QTable> arena;
+  std::vector<std::size_t> trainees;
+  std::vector<std::int64_t> first_attempt_us(options_.devices, 0);
+  for (std::size_t d = 0; d < options_.devices; ++d) {
+    if (!leases_[d].active) continue;
+    SplitMix64 depart = churn_stream(options_.churn.seed, kDepartSalt, r, d);
+    if (bernoulli(depart, options_.churn.depart_rate)) {
+      const std::int64_t depart_us =
+          round_start +
+          static_cast<std::int64_t>(depart.next() %
+                                    static_cast<std::uint64_t>(options_.round_duration.us()));
+      const std::int64_t last_heartbeat =
+          round_start + ((depart_us - round_start) / options_.heartbeat_period.us()) *
+                            options_.heartbeat_period.us();
+      heap.push_back(Event{last_heartbeat + options_.lease_timeout.us(),
+                           Event::kLeaseExpiry, d, r, 0, 0});
+      leases_[d].active = false;
+      leases_[d].rejoin_round = r + options_.churn.rejoin_after_rounds;
+      continue;
+    }
+    std::int64_t start = round_start + options_.round_duration.us();
+    SplitMix64 straggle = churn_stream(options_.churn.seed, kStraggleSalt, r, d);
+    if (bernoulli(straggle, options_.churn.straggle_rate)) {
+      // At least half a round late: usually past the deadline, so the
+      // table carries into the next round and merges with staleness 1.
+      start += options_.round_deadline.us() / 2 +
+               static_cast<std::int64_t>(
+                   straggle.next() % static_cast<std::uint64_t>(options_.round_deadline.us()));
+    }
+    first_attempt_us[d] = start + options_.upload_latency.us();
+    trainees.push_back(d);
+  }
+  rs.training_devices = trainees.size();
+
+  // 3. Train every leased, non-departing device for round_duration of
+  //    simulated time - one homogeneous batched plan across the shared
+  //    worker pool, warm-started from the global aggregate (visit mass
+  //    stripped so historical experience is counted once, via the
+  //    aggregate, not once per device).
+  std::optional<rl::QTable> warm;
+  if (last_aggregate_.has_value()) warm = strip_visit_mass(*last_aggregate_);
+  TrainingPlan plan;
+  for (const std::size_t d : trainees) {
+    TrainingOptions cell;
+    cell.max_duration = options_.round_duration;
+    cell.episode_length = options_.episode_length;
+    cell.seed = derive_seed(derive_seed(options_.base_seed, d), r);
+    cell.ambient = options_.ambient;
+    cell.initial_table = warm.has_value() ? &*warm : nullptr;
+    plan.add(app_factory_, "device_" + std::to_string(d), options_.next_config, cell);
+  }
+  const std::vector<TrainingResult> results =
+      plan.empty() ? std::vector<TrainingResult>{}
+                   : run_training_plan_batched(plan, {.workers = runner_.workers});
+  double reward_sum = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    reward_sum += results[i].final_mean_reward;
+    stats_.total_decisions += results[i].decisions;
+    arena.push_back(results[i].table);
+    heap.push_back(Event{first_attempt_us[trainees[i]], Event::kUploadArrival,
+                         trainees[i], r, 0, arena.size() - 1});
+  }
+  rs.mean_reward =
+      results.empty() ? 0.0 : reward_sum / static_cast<double>(results.size());
+
+  // Pending uploads from earlier rounds re-enter the loop with their
+  // persisted arrival times and attempt counters, so a restarted server
+  // replays exactly the same arrivals.
+  for (PendingUpload& p : pending_) {
+    arena.push_back(std::move(p.table));
+    heap.push_back(Event{p.arrival_us, Event::kUploadArrival, p.device, p.trained_round,
+                         p.attempts_used, arena.size() - 1});
+  }
+  pending_.clear();
+
+  // 4. The event loop: process lease expiries and upload arrivals in
+  //    simulated-time order until the straggler deadline.
+  std::make_heap(heap.begin(), heap.end(), later);
+  std::size_t accepted_this_round = 0;
+  while (!heap.empty() && heap.front().t_us < round_close) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Event ev = heap.back();
+    heap.pop_back();
+    clock_us_ = ev.t_us;
+    if (ev.kind == Event::kLeaseExpiry) {
+      // The departed device's in-flight uploads die with its lease.
+      std::size_t dropped = 0;
+      for (const Event& other : heap) {
+        if (other.kind == Event::kUploadArrival && other.device == ev.device) ++dropped;
+      }
+      if (dropped > 0) {
+        heap.erase(std::remove_if(heap.begin(), heap.end(),
+                                  [&](const Event& other) {
+                                    return other.kind == Event::kUploadArrival &&
+                                           other.device == ev.device;
+                                  }),
+                   heap.end());
+        std::make_heap(heap.begin(), heap.end(), later);
+        stats_.uploads_lost += dropped;
+        rs.lost_uploads += dropped;
+      }
+      ++stats_.departures;
+      ++rs.departures;
+      NEXTGOV_LOG(kInfo) << "fleet_server: device " << ev.device
+                         << " lease expired at t=" << ev.t_us << "us (round " << r << ")";
+      continue;
+    }
+    // Upload arrival: the table travels as CRC-guarded snapshot bytes; a
+    // seeded per-attempt failure damages them in flight, the decode throws,
+    // and the device retries with exponential backoff + jitter.
+    bool delivered = true;
+    rl::QTable* table = &arena[ev.table];
+    std::optional<rl::QTable> decoded;
+    if (options_.churn.upload_fail_rate > 0.0) {
+      SnapshotWriter wire;
+      table->serialize(wire.section("upload"));
+      std::vector<std::uint8_t> blob = wire.bytes();
+      SplitMix64 fate =
+          attempt_stream(options_.churn.seed, ev.trained_round, ev.device, ev.attempt);
+      if (bernoulli(fate, options_.churn.upload_fail_rate)) damage_blob(blob, fate);
+      try {
+        const SnapshotReader reader{std::move(blob),
+                                    "upload from device " + std::to_string(ev.device)};
+        ByteReader payload = reader.section("upload");
+        decoded = rl::QTable::deserialize(payload);
+        table = &*decoded;
+      } catch (const SerializeError&) {
+        delivered = false;
+      }
+    }
+    if (!delivered) {
+      const std::uint32_t next_attempt = ev.attempt + 1;
+      if (next_attempt >= options_.max_upload_attempts) {
+        ++stats_.uploads_lost;
+        ++rs.lost_uploads;
+        continue;
+      }
+      SplitMix64 jitter =
+          attempt_stream(options_.churn.seed ^ 0x1u, ev.trained_round, ev.device, ev.attempt);
+      const std::int64_t backoff =
+          options_.retry_backoff.us() << std::min<std::uint32_t>(ev.attempt, 20);
+      const std::int64_t delay =
+          backoff + static_cast<std::int64_t>(
+                        jitter.next() % static_cast<std::uint64_t>(options_.retry_backoff.us()));
+      heap.push_back(Event{ev.t_us + delay, Event::kUploadArrival, ev.device,
+                           ev.trained_round, next_attempt, ev.table});
+      std::push_heap(heap.begin(), heap.end(), later);
+      ++stats_.uploads_retried;
+      ++rs.retries;
+      continue;
+    }
+    // Accepted. Only a strictly fresher table replaces a device's standing
+    // upload (a very late round-k arrival after round-(k+1) already landed
+    // is redundant, not a regression).
+    if (!uploads_[ev.device].has_value() || uploads_[ev.device]->round < ev.trained_round) {
+      uploads_[ev.device] = FleetUpload{*table, ev.trained_round};
+      ++stats_.uploads_accepted;
+      ++accepted_this_round;
+      if (ev.trained_round < r) {
+        ++stats_.late_uploads_merged;
+        ++rs.late_merged;
+      } else {
+        ++rs.quorum;
+      }
+    }
+  }
+
+  // 5. Straggler deadline: whatever is still in flight carries into the
+  //    next round as persisted PendingUploads - merged late rather than
+  //    dropped, and never allowed to stall this round's close.
+  for (Event& ev : heap) {
+    NEXTGOV_ASSERT(ev.kind == Event::kUploadArrival);  // expiries resolve in-round
+    pending_.push_back(PendingUpload{ev.device, ev.trained_round, ev.t_us, ev.attempt,
+                                     std::move(arena[ev.table])});
+  }
+  std::sort(pending_.begin(), pending_.end(), [](const PendingUpload& a,
+                                                 const PendingUpload& b) {
+    return std::tie(a.arrival_us, a.device, a.trained_round, a.attempts_used) <
+           std::tie(b.arrival_us, b.device, b.trained_round, b.attempts_used);
+  });
+  rs.carried_late = pending_.size();
+
+  // 6. Graceful degradation merge: the staleness-weighted aggregate of
+  //    every device's last accepted upload, aged by how many rounds ago it
+  //    trained. Departed and straggling devices lean on their older
+  //    uploads, exactly as the merge math intends; with no fresh arrivals
+  //    at all the previous aggregate simply carries.
+  if (accepted_this_round > 0) {
+    std::vector<const rl::QTable*> tables;
+    std::vector<double> staleness;
+    for (const auto& upload : uploads_) {
+      if (!upload.has_value()) continue;
+      tables.push_back(&upload->table);
+      staleness.push_back(static_cast<double>(r - upload->round));
+    }
+    last_aggregate_ = rl::merge_q_tables(tables, staleness, options_.merge_policy);
+  }
+  rs.global_states = last_aggregate_.has_value() ? last_aggregate_->state_count() : 0;
+  last_round_mean_reward_ = rs.mean_reward;
+
+  // 7. Round boundary: advance the clock, rotate the snapshot ring, report.
+  clock_us_ = round_close;
+  round_ = r + 1;
+  ++stats_.rounds_served;
+  write_ring_snapshot();
+  rs.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  if (progress) progress(rs);
+}
+
+void FleetServer::run_rounds(std::size_t n, const FleetServerProgressFn& progress) {
+  for (std::size_t i = 0; i < n; ++i) run_round(progress);
+}
+
+}  // namespace nextgov::sim

@@ -1,0 +1,235 @@
+// fleet_server.hpp - the long-running federated fleet server.
+//
+// train_fleet() (sim/fleet.hpp) runs the paper's Section IV-C cloud
+// aggregation as a fixed number of lock-step rounds: every device trains,
+// every upload lands instantly, the loop ends. A manufacturer's real fleet
+// server has none of those luxuries - it runs indefinitely, devices come
+// and go mid-round, uploads arrive late, damaged or not at all, and the
+// process itself must survive being killed. FleetServer is that server,
+// still fully deterministic: it advances a *simulated* clock through an
+// event loop whose every stochastic element (departures, stragglers,
+// upload failures) draws from seeded per-(round, device, attempt) streams,
+// so two servers with the same options produce bit-identical Q-tables
+// regardless of worker count, host, or how often the process was restarted
+// in between.
+//
+// One round r occupies simulated time [r*round_deadline, (r+1)*round_deadline):
+//
+//   * registration & leases - every device registers at construction and
+//     holds its lease by heartbeating every heartbeat_period. A departing
+//     device (seeded draw) stops heartbeating at a seeded instant inside
+//     the round; its lease expires lease_timeout after the last heartbeat,
+//     the server discards the device's in-flight round (it never
+//     contributes a partial table) and drops any of its still-pending
+//     uploads. The device re-registers rejoin_after_rounds rounds later.
+//     Until then the staleness weighting simply ages its last accepted
+//     upload - the merge math already absorbs the gap;
+//   * training - every leased, non-departing device trains for
+//     round_duration of simulated device time (one batched plan through
+//     the SoA runner, warm-started from the current global aggregate with
+//     visit mass stripped - see strip_visit_mass);
+//   * uploads - each trained table travels as CRC-guarded snapshot bytes
+//     (the same serialize path train_fleet uses). A failed attempt (seeded
+//     draw; damage is a byte flip or truncation, always caught by the
+//     container's CRC/length checks) retries with bounded exponential
+//     backoff + deterministic jitter, up to max_upload_attempts before the
+//     table is lost. Stragglers (seeded draw) add a large delay before
+//     their first attempt;
+//   * straggler deadline & graceful degradation - the round closes at its
+//     deadline no matter what: the server merges whatever quorum arrived
+//     (staleness-weighted via rl::merge_q_tables, where a device's upload
+//     ages by the rounds since it trained), carries still-in-flight
+//     uploads into the next round instead of dropping them (they merge
+//     late, with their honest staleness), and never stalls the fleet on
+//     any one device;
+//   * snapshot ring - every round boundary persists the complete server
+//     state (global + per-device uploads + leases + pending uploads +
+//     clock + counters, container version 2) to
+//     `<snapshot_prefix>.<round mod snapshot_ring>`, keeping the last K
+//     boundaries. Startup scans the ring, quarantines entries that fail
+//     CRC (renamed to `<path>.corrupt` via read_snapshot_quarantining) and
+//     restores from the newest valid one, so a kill -9 at any point loses
+//     at most the round in progress - and replaying that round from the
+//     boundary is bit-identical to never having died. Pinned by
+//     tests/sim/fleet_server_golden_test.cpp and the fleet_serverd CI
+//     crash-recovery smoke.
+//
+// examples/fleet_serverd.cpp wraps this in a daemon with SIGINT/SIGTERM
+// drain; bench/perf_fleet_server.cpp measures round latency and
+// degradation under churn (BENCH_fleet_server.json).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+
+namespace nextgov::sim {
+
+/// Seeded churn injection for a fleet-server run: who departs, who
+/// straggles, whose uploads fail. All draws are deterministic in
+/// (seed, round, device[, attempt]) - independent of worker count and of
+/// each other - so a churning run is exactly as reproducible as a calm one.
+struct FleetChurnPlan {
+  std::uint64_t seed{0xC4A2u};
+  /// Per-(device, round) probability the device stops heartbeating at a
+  /// seeded instant inside the round: its lease expires, it trains nothing,
+  /// its pending uploads are dropped, and it re-registers
+  /// rejoin_after_rounds rounds later.
+  double depart_rate{0.0};
+  /// Rounds a departed device stays away before re-registering.
+  std::size_t rejoin_after_rounds{2};
+  /// Per-(device, round) probability the device's upload starts late enough
+  /// (seeded delay of at least half a round) to usually miss the deadline
+  /// and carry into the next round.
+  double straggle_rate{0.0};
+  /// Per-attempt probability an upload arrives damaged (byte flip or
+  /// truncation, alternating by draw - always caught by the CRC/length
+  /// checks) and must retry with exponential backoff.
+  double upload_fail_rate{0.0};
+};
+
+struct FleetServerOptions {
+  std::size_t devices{8};
+  /// Per-device simulated training time per round.
+  SimTime round_duration{SimTime::from_seconds(180.0)};
+  /// Simulated length of one server round - the straggler deadline. The
+  /// round closes at this wall regardless of who has arrived. Must leave
+  /// room for a clean upload (round_duration + upload_latency) and for any
+  /// lease expiry to resolve inside the round (round_duration +
+  /// lease_timeout), so a boundary snapshot never holds a half-expired
+  /// lease.
+  SimTime round_deadline{SimTime::from_seconds(240.0)};
+  /// App restart cadence inside a round (TrainingOptions::episode_length).
+  SimTime episode_length{SimTime::from_seconds(60.0)};
+  /// A leased device heartbeats this often; departure is detected at the
+  /// last heartbeat before the seeded departure instant + lease_timeout.
+  SimTime heartbeat_period{SimTime::from_seconds(5.0)};
+  SimTime lease_timeout{SimTime::from_seconds(15.0)};
+  /// Simulated transfer time of one upload attempt.
+  SimTime upload_latency{SimTime::from_seconds(2.0)};
+  /// Backoff after a failed attempt a (0-based) is
+  /// retry_backoff * 2^a + jitter, jitter a seeded draw in [0, retry_backoff).
+  SimTime retry_backoff{SimTime::from_seconds(4.0)};
+  std::uint32_t max_upload_attempts{4};
+  /// Device d trains round r with seed derive_seed(derive_seed(base_seed, d), r)
+  /// - the same scheme as train_fleet, so trajectories are comparable.
+  std::uint64_t base_seed{2020};
+  core::NextConfig next_config{};
+  Celsius ambient{Celsius{21.0}};
+  rl::StalenessMergePolicy merge_policy{};
+  FleetChurnPlan churn{};
+  /// Keep the last K round-boundary snapshots as
+  /// `<snapshot_prefix>.<round mod K>`. 0 = no persistence.
+  std::size_t snapshot_ring{0};
+  std::string snapshot_prefix{};
+};
+
+/// Validates geometry/timing/churn/persistence fields and throws a
+/// descriptive ConfigError on the first violation. The FleetServer
+/// constructor calls this up front.
+void validate_fleet_server_options(const FleetServerOptions& options);
+
+/// Canonical byte encoding of every FleetServerOptions field that
+/// determines the trajectory (everything except the snapshot ring
+/// geometry, which may be relocated between restarts). Stored inside each
+/// ring snapshot and compared on restore, so a server restarted under
+/// different options refuses to resume instead of silently diverging.
+void encode_fleet_server_options(const FleetServerOptions& options, ByteWriter& out);
+
+/// Per-round progress snapshot, handed to the progress callback after each
+/// round closes (post-merge, post-snapshot).
+struct FleetServerRoundStats {
+  std::size_t round{0};
+  std::size_t training_devices{0};  ///< leased, non-departing devices that trained
+  std::size_t departures{0};        ///< leases expired mid-round
+  std::size_t rejoined{0};          ///< departed devices that re-registered
+  std::size_t quorum{0};            ///< this round's tables that beat the deadline
+  std::size_t late_merged{0};       ///< earlier rounds' tables accepted this round
+  std::size_t carried_late{0};      ///< uploads still in flight at the close
+  std::size_t retries{0};           ///< failed attempts rescheduled this round
+  std::size_t lost_uploads{0};      ///< tables dropped (attempts exhausted / lease expiry)
+  std::size_t global_states{0};     ///< state count of the global aggregate
+  double mean_reward{0.0};          ///< mean device reward of this round's trainees
+  double wall_seconds{0.0};         ///< host wall-clock for this round
+};
+using FleetServerProgressFn = std::function<void(const FleetServerRoundStats&)>;
+
+/// Cumulative server statistics. The counters that determine replay
+/// (everything through `departures`) are persisted in the snapshot ring;
+/// the per-process fields below them restart at zero after a resume.
+struct FleetServerStats {
+  std::uint64_t rounds_served{0};
+  std::uint64_t uploads_accepted{0};
+  std::uint64_t uploads_retried{0};
+  std::uint64_t uploads_lost{0};
+  std::uint64_t late_uploads_merged{0};
+  std::uint64_t departures{0};
+  std::uint64_t total_decisions{0};
+  // --- per-process (not persisted) ---
+  std::uint64_t rejoins{0};
+  std::size_t snapshots_written{0};
+  std::size_t snapshots_quarantined{0};
+};
+
+/// The long-running fleet server. Construct it (restoring from the
+/// snapshot ring when one is configured and holds a valid entry), then
+/// call run_round()/run_rounds() as long as the process lives; drain()
+/// persists a final boundary snapshot for a clean shutdown. Destroying
+/// the server without drain() models kill -9: the next construction
+/// resumes from the last ring boundary bit-identically.
+class FleetServer {
+ public:
+  FleetServer(AppFactory app_factory, const FleetServerOptions& options,
+              const RunnerOptions& runner = {});
+  FleetServer(workload::AppId app, const FleetServerOptions& options,
+              const RunnerOptions& runner = {});
+
+  /// Executes one full round (train, event loop to the deadline, merge,
+  /// ring snapshot) and advances the simulated clock to the next boundary.
+  void run_round(const FleetServerProgressFn& progress = {});
+  void run_rounds(std::size_t n, const FleetServerProgressFn& progress = {});
+
+  /// Persists the current round boundary to the ring (no-op without a
+  /// configured ring). Idempotent; called by the daemon on SIGINT/SIGTERM.
+  void drain();
+
+  /// Next round to execute (== rounds completed since round 0).
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  /// Simulated clock, at a round boundary between run_round() calls.
+  [[nodiscard]] SimTime now() const noexcept { return SimTime::from_us(clock_us_); }
+  /// Current global aggregate; nullptr before the first accepted upload.
+  [[nodiscard]] const rl::QTable* global() const noexcept {
+    return last_aggregate_.has_value() ? &*last_aggregate_ : nullptr;
+  }
+  [[nodiscard]] const FleetServerStats& stats() const noexcept { return stats_; }
+  /// True when construction restored state from the snapshot ring.
+  [[nodiscard]] bool restored() const noexcept { return restored_; }
+  [[nodiscard]] const FleetServerOptions& options() const noexcept { return options_; }
+
+ private:
+  void restore_from_ring();
+  void write_ring_snapshot();
+  [[nodiscard]] std::string ring_path(std::size_t slot) const;
+  [[nodiscard]] FleetSnapshot boundary_snapshot() const;
+
+  AppFactory app_factory_;
+  FleetServerOptions options_;
+  RunnerOptions runner_;
+
+  std::size_t round_{0};
+  std::int64_t clock_us_{0};
+  std::vector<DeviceLease> leases_;
+  /// Last accepted upload per device (the staleness merge input).
+  std::vector<std::optional<FleetUpload>> uploads_;
+  std::vector<PendingUpload> pending_;
+  std::optional<rl::QTable> last_aggregate_;
+  double last_round_mean_reward_{0.0};
+  FleetServerStats stats_;
+  bool restored_{false};
+};
+
+}  // namespace nextgov::sim

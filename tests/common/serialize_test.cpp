@@ -148,6 +148,30 @@ TEST(SnapshotContainer, FutureVersionIsRefused) {
   }
 }
 
+TEST(SnapshotContainer, PreviousVersionIsStillReadable) {
+  // Read-back-one: version-1 snapshots (pre fleet-server) must keep
+  // decoding after the version-2 bump. The framing is identical across the
+  // window, so rewriting the version field yields a valid v1 container.
+  std::vector<std::uint8_t> bytes = two_section_snapshot();
+  bytes[4] = static_cast<std::uint8_t>(kSnapshotVersionMin);
+  const SnapshotReader snap{std::move(bytes), "test"};
+  EXPECT_EQ(snap.version(), kSnapshotVersionMin);
+  ByteReader a = snap.section("alpha");
+  EXPECT_EQ(a.u64(), 123u);
+  EXPECT_EQ(a.str(), "payload");
+}
+
+TEST(SnapshotContainer, VersionBelowTheWindowIsRefused) {
+  std::vector<std::uint8_t> bytes = two_section_snapshot();
+  bytes[4] = static_cast<std::uint8_t>(kSnapshotVersionMin - 1);
+  try {
+    const SnapshotReader snap{std::move(bytes), "test"};
+    FAIL() << "expected SerializeError";
+  } catch (const SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
 TEST(SnapshotContainer, EveryTruncationIsDetected) {
   const std::vector<std::uint8_t> good = two_section_snapshot();
   for (std::size_t len = 0; len < good.size(); ++len) {

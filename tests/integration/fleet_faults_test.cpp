@@ -1,13 +1,17 @@
 // Integration tests for the fleet fault-injection harness: seeded dropout
 // and upload corruption are deterministic (worker-count independent),
 // degrade rounds gracefully instead of failing them, and compose with
-// crash/resume.
+// crash/resume. The long-running FleetServer's churn machinery (mid-round
+// lease departures, late-upload carry-over) is held to the same bar at the
+// bottom of this file.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "sim/fleet.hpp"
+#include "sim/fleet_server.hpp"
 
 namespace nextgov::sim {
 namespace {
@@ -113,6 +117,114 @@ TEST(FleetFaults, CrashAndResumeComposeWithFaults) {
   EXPECT_EQ(result.dropped_device_rounds, uninterrupted.dropped_device_rounds);
   EXPECT_EQ(result.rejected_uploads, uninterrupted.rejected_uploads);
   std::remove(path.c_str());
+}
+
+// --- the long-running fleet server under churn -----------------------------
+
+FleetServerOptions churny_server() {
+  FleetServerOptions options;
+  options.devices = 6;
+  options.round_duration = SimTime::from_seconds(20.0);
+  options.round_deadline = SimTime::from_seconds(40.0);
+  options.episode_length = SimTime::from_seconds(10.0);
+  options.heartbeat_period = SimTime::from_seconds(2.0);
+  options.lease_timeout = SimTime::from_seconds(5.0);
+  options.upload_latency = SimTime::from_seconds(1.0);
+  options.retry_backoff = SimTime::from_seconds(2.0);
+  options.base_seed = 777;
+  options.churn.seed = 42;
+  options.churn.depart_rate = 0.3;
+  options.churn.straggle_rate = 0.3;
+  options.churn.upload_fail_rate = 0.4;
+  options.churn.rejoin_after_rounds = 1;
+  return options;
+}
+
+std::vector<std::uint8_t> canonical_bytes(const rl::QTable& table) {
+  ByteWriter out;
+  table.serialize(out);
+  return out.data();
+}
+
+TEST(FleetServerFaults, ChurningServerIsDeterministicAcrossWorkerCounts) {
+  // Departures, stragglers, retries and losses all draw from
+  // (round, device, attempt)-keyed streams, so the event loop's outcome -
+  // down to every counter - must be independent of the training pool size.
+  const FleetServerOptions options = churny_server();
+  std::vector<std::vector<std::uint8_t>> tables;
+  std::vector<FleetServerStats> stats;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}, std::size_t{4}}) {
+    FleetServer server{workload::AppId::kFacebook, options, {.workers = workers}};
+    server.run_rounds(3);
+    ASSERT_NE(server.global(), nullptr) << workers << " workers";
+    tables.push_back(canonical_bytes(*server.global()));
+    stats.push_back(server.stats());
+  }
+  for (std::size_t i = 1; i < tables.size(); ++i) {
+    EXPECT_EQ(tables[0], tables[i]) << "worker-count variant " << i;
+    EXPECT_EQ(stats[0].uploads_accepted, stats[i].uploads_accepted);
+    EXPECT_EQ(stats[0].uploads_retried, stats[i].uploads_retried);
+    EXPECT_EQ(stats[0].uploads_lost, stats[i].uploads_lost);
+    EXPECT_EQ(stats[0].late_uploads_merged, stats[i].late_uploads_merged);
+    EXPECT_EQ(stats[0].departures, stats[i].departures);
+    EXPECT_EQ(stats[0].total_decisions, stats[i].total_decisions);
+  }
+  // The churn plan must actually exercise both failure modes here, or this
+  // test is vacuously green.
+  EXPECT_GT(stats[0].departures, 0u);
+  EXPECT_GT(stats[0].uploads_retried + stats[0].late_uploads_merged, 0u);
+}
+
+TEST(FleetServerFaults, DepartedDeviceNeverContributesAPartialTable) {
+  // A device that departs mid-round has its training cell discarded
+  // entirely: per-round quorum + late merges can only come from devices
+  // that finished training, and the upload ledger (persisted in the ring
+  // snapshot) must show no accepted upload from any departed round.
+  FleetServerOptions options = churny_server();
+  options.churn.straggle_rate = 0.0;   // isolate departures
+  options.churn.upload_fail_rate = 0.0;
+  const std::string prefix =
+      ::testing::TempDir() + "/nextgov_fsrv_departed_ledger";
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    std::remove((prefix + "." + std::to_string(slot)).c_str());
+  }
+  options.snapshot_ring = 1;
+  options.snapshot_prefix = prefix;
+
+  FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+  std::vector<FleetServerRoundStats> rounds;
+  server.run_rounds(3, [&](const FleetServerRoundStats& rs) { rounds.push_back(rs); });
+  std::size_t departures = 0;
+  for (const auto& rs : rounds) {
+    departures += rs.departures;
+    // Without stragglers or failures, accepted tables == devices that
+    // actually trained, never more.
+    EXPECT_EQ(rs.quorum, rs.training_devices);
+    EXPECT_EQ(rs.late_merged, 0u);
+    // Trainees and departures partition the *leased* devices; the rest are
+    // still away from an earlier departure.
+    EXPECT_LE(rs.training_devices + rs.departures, 6u);
+  }
+  ASSERT_GT(departures, 0u) << "retune churn seed: no device ever departed";
+
+  // Cross-check through the persisted ledger: the final boundary snapshot
+  // records, per device, the last round whose table the server accepted.
+  // Replaying the round stats forward, a device's ledger entry may only be
+  // a round it was leased and training for.
+  const FleetSnapshot ledger = load_fleet_snapshot(prefix + ".0");
+  ASSERT_TRUE(ledger.has_server_state);
+  ASSERT_EQ(ledger.shard_last_upload.size(), 6u);
+  std::size_t devices_with_uploads = 0;
+  for (std::size_t d = 0; d < 6; ++d) {
+    if (ledger.shard_last_upload[d] != kNeverUploaded) ++devices_with_uploads;
+  }
+  // Everyone who trained at least once has a ledger entry; the sum of all
+  // per-round trainees bounds the ledger (departed rounds contribute none).
+  std::size_t total_trainee_rounds = 0;
+  for (const auto& rs : rounds) total_trainee_rounds += rs.training_devices;
+  EXPECT_LE(devices_with_uploads, 6u);
+  EXPECT_EQ(server.stats().uploads_accepted, total_trainee_rounds)
+      << "an accepted table appeared that no completed training round produced";
 }
 
 }  // namespace

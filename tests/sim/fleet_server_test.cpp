@@ -1,0 +1,283 @@
+// Tests for the long-running fleet server (sim/fleet_server.hpp): options
+// validation, determinism across worker counts under churn, straggler
+// carry-over, retry/loss accounting, lease departure bookkeeping, and the
+// snapshot ring (rotation, corrupt-entry quarantine + fallback, options
+// identity, cold start). The kill -9 bit-identity contract itself lives in
+// tests/sim/fleet_server_golden_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/fleet_server.hpp"
+
+namespace nextgov::sim {
+namespace {
+
+/// Small-but-real server geometry: rounds are fast enough for the unit
+/// tier, and the timing windows satisfy validate_fleet_server_options
+/// (deadline 40 s > duration 20 s + latency 1 s; duration + lease 5 s fits
+/// the deadline).
+FleetServerOptions small_server() {
+  FleetServerOptions options;
+  options.devices = 3;
+  options.round_duration = SimTime::from_seconds(20.0);
+  options.round_deadline = SimTime::from_seconds(40.0);
+  options.episode_length = SimTime::from_seconds(10.0);
+  options.heartbeat_period = SimTime::from_seconds(2.0);
+  options.lease_timeout = SimTime::from_seconds(5.0);
+  options.upload_latency = SimTime::from_seconds(1.0);
+  options.retry_backoff = SimTime::from_seconds(2.0);
+  options.base_seed = 77;
+  return options;
+}
+
+std::vector<std::uint8_t> canonical_bytes(const rl::QTable& table) {
+  ByteWriter out;
+  table.serialize(out);
+  return out.data();
+}
+
+/// Fresh per-test ring prefix (and cleanup of any stale slots/quarantine
+/// files a previous run left behind).
+std::string ring_prefix(const std::string& name) {
+  const std::string prefix = ::testing::TempDir() + "/nextgov_fsrv_" + name;
+  for (std::size_t slot = 0; slot < 16; ++slot) {
+    std::remove((prefix + "." + std::to_string(slot)).c_str());
+    std::remove((prefix + "." + std::to_string(slot) + ".corrupt").c_str());
+  }
+  return prefix;
+}
+
+TEST(FleetServerOptionsValidation, RejectsDegenerateConfigurations) {
+  const auto expect_rejected = [](auto mutate, const char* label) {
+    FleetServerOptions options = small_server();
+    mutate(options);
+    EXPECT_THROW(validate_fleet_server_options(options), ConfigError) << label;
+  };
+  expect_rejected([](auto& o) { o.devices = 0; }, "devices == 0");
+  expect_rejected([](auto& o) { o.round_duration = SimTime::zero(); }, "zero duration");
+  expect_rejected([](auto& o) { o.episode_length = SimTime::zero(); }, "zero episode");
+  expect_rejected([](auto& o) { o.heartbeat_period = SimTime::zero(); }, "zero heartbeat");
+  expect_rejected([](auto& o) { o.lease_timeout = SimTime::from_seconds(1.0); },
+                  "lease_timeout < heartbeat_period");
+  expect_rejected([](auto& o) { o.retry_backoff = SimTime::zero(); }, "zero backoff");
+  expect_rejected([](auto& o) { o.max_upload_attempts = 0; }, "zero attempts");
+  expect_rejected([](auto& o) { o.round_deadline = SimTime::from_seconds(20.5); },
+                  "deadline leaves no room for a clean upload");
+  expect_rejected([](auto& o) { o.lease_timeout = SimTime::from_seconds(25.0); },
+                  "lease expiry could cross the round boundary");
+  expect_rejected([](auto& o) { o.churn.depart_rate = 1.0; }, "depart_rate == 1");
+  expect_rejected([](auto& o) { o.churn.upload_fail_rate = 1.0; }, "fail_rate == 1");
+  expect_rejected([](auto& o) { o.churn.rejoin_after_rounds = 0; }, "rejoin == 0");
+  expect_rejected([](auto& o) { o.snapshot_ring = 3; }, "ring without prefix");
+  EXPECT_NO_THROW(validate_fleet_server_options(small_server()));
+}
+
+TEST(FleetServer, CalmFleetReachesFullQuorumEveryRound) {
+  FleetServer server{workload::AppId::kFacebook, small_server(), {.workers = 2}};
+  std::vector<FleetServerRoundStats> rounds;
+  server.run_rounds(2, [&](const FleetServerRoundStats& rs) { rounds.push_back(rs); });
+  ASSERT_EQ(rounds.size(), 2u);
+  for (const auto& rs : rounds) {
+    EXPECT_EQ(rs.training_devices, 3u);
+    EXPECT_EQ(rs.quorum, 3u);  // every upload beats the deadline
+    EXPECT_EQ(rs.departures, 0u);
+    EXPECT_EQ(rs.carried_late, 0u);
+    EXPECT_EQ(rs.retries, 0u);
+    EXPECT_EQ(rs.lost_uploads, 0u);
+    EXPECT_GT(rs.global_states, 0u);
+  }
+  ASSERT_NE(server.global(), nullptr);
+  EXPECT_EQ(server.round(), 2u);
+  EXPECT_EQ(server.now().us(), 2 * small_server().round_deadline.us());
+  EXPECT_EQ(server.stats().uploads_accepted, 6u);
+  EXPECT_GT(server.stats().total_decisions, 0u);
+}
+
+TEST(FleetServer, DeterministicAcrossWorkerCountsUnderChurn) {
+  FleetServerOptions options = small_server();
+  options.devices = 4;
+  options.churn.depart_rate = 0.3;
+  options.churn.straggle_rate = 0.3;
+  options.churn.upload_fail_rate = 0.4;
+  options.churn.rejoin_after_rounds = 1;
+  FleetServer serial{workload::AppId::kFacebook, options, {.workers = 1}};
+  FleetServer pooled{workload::AppId::kFacebook, options, {.workers = 4}};
+  serial.run_rounds(3);
+  pooled.run_rounds(3);
+  ASSERT_NE(serial.global(), nullptr);
+  ASSERT_NE(pooled.global(), nullptr);
+  EXPECT_EQ(canonical_bytes(*serial.global()), canonical_bytes(*pooled.global()));
+  EXPECT_EQ(serial.stats().uploads_accepted, pooled.stats().uploads_accepted);
+  EXPECT_EQ(serial.stats().uploads_retried, pooled.stats().uploads_retried);
+  EXPECT_EQ(serial.stats().uploads_lost, pooled.stats().uploads_lost);
+  EXPECT_EQ(serial.stats().departures, pooled.stats().departures);
+  EXPECT_EQ(serial.stats().late_uploads_merged, pooled.stats().late_uploads_merged);
+  EXPECT_EQ(serial.stats().total_decisions, pooled.stats().total_decisions);
+}
+
+TEST(FleetServer, UniversalStragglersCarryIntoLaterRounds) {
+  // Every device straggles every round: the seeded delay (at least half a
+  // deadline) plus training time always overruns the close, so round 0
+  // merges nothing and carries all three tables; they land - and merge,
+  // staleness-weighted - in later rounds.
+  FleetServerOptions options = small_server();
+  options.churn.straggle_rate = 1.0;
+  FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+  std::vector<FleetServerRoundStats> rounds;
+  server.run_rounds(3, [&](const FleetServerRoundStats& rs) { rounds.push_back(rs); });
+  EXPECT_EQ(rounds[0].quorum, 0u);
+  EXPECT_EQ(rounds[0].carried_late, 3u);
+  EXPECT_EQ(rounds[0].global_states, 0u);  // nothing arrived: degrade, don't stall
+  EXPECT_EQ(server.stats().late_uploads_merged,
+            rounds[1].late_merged + rounds[2].late_merged);
+  EXPECT_GT(server.stats().late_uploads_merged, 0u);
+  ASSERT_NE(server.global(), nullptr);  // late tables did merge eventually
+}
+
+TEST(FleetServer, FailedUploadsRetryWithBackoffAndEventuallyDrop) {
+  FleetServerOptions options = small_server();
+  options.churn.upload_fail_rate = 0.9;
+  options.max_upload_attempts = 2;
+  FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+  server.run_rounds(3);
+  // At 90% per-attempt failure and two attempts, retries and exhausted
+  // uploads are both statistically certain across 9 uploads; the server
+  // must keep serving rounds regardless.
+  EXPECT_GT(server.stats().uploads_retried, 0u);
+  EXPECT_GT(server.stats().uploads_lost, 0u);
+  EXPECT_EQ(server.round(), 3u);
+}
+
+TEST(FleetServer, DepartedDevicesSkipTrainingAndRejoin) {
+  FleetServerOptions options = small_server();
+  options.devices = 6;
+  options.churn.depart_rate = 0.5;
+  options.churn.rejoin_after_rounds = 1;
+  FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+  std::vector<FleetServerRoundStats> rounds;
+  server.run_rounds(2, [&](const FleetServerRoundStats& rs) { rounds.push_back(rs); });
+  // A departing device's training cell is never scheduled: trainees +
+  // departures account for every leased device, and only trainees can
+  // contribute tables.
+  ASSERT_GT(rounds[0].departures, 0u) << "tune seed: churn produced no departure";
+  EXPECT_EQ(rounds[0].training_devices + rounds[0].departures, 6u);
+  EXPECT_EQ(rounds[0].quorum, rounds[0].training_devices);
+  // rejoin_after_rounds = 1: everyone who left round 0 is back for round 1.
+  EXPECT_EQ(rounds[1].rejoined, rounds[0].departures);
+  EXPECT_EQ(server.stats().departures, rounds[0].departures + rounds[1].departures);
+}
+
+TEST(FleetServerRing, RotationKeepsOnlyTheLastKEntries) {
+  const std::string prefix = ring_prefix("rotate");
+  FleetServerOptions options = small_server();
+  options.snapshot_ring = 2;
+  options.snapshot_prefix = prefix;
+  FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+  EXPECT_FALSE(server.restored());
+  server.run_rounds(3);
+  EXPECT_EQ(server.stats().snapshots_written, 3u);
+  // Rounds 1..3 wrote slots 1, 0, 1 - exactly two files, no slot 2.
+  EXPECT_TRUE(std::filesystem::exists(prefix + ".0"));
+  EXPECT_TRUE(std::filesystem::exists(prefix + ".1"));
+  EXPECT_FALSE(std::filesystem::exists(prefix + ".2"));
+
+  // A fresh server restores the *newest* boundary and picks up mid-stream.
+  FleetServer resumed{workload::AppId::kFacebook, options, {.workers = 2}};
+  EXPECT_TRUE(resumed.restored());
+  EXPECT_EQ(resumed.round(), 3u);
+  ASSERT_NE(resumed.global(), nullptr);
+}
+
+TEST(FleetServerRing, CorruptNewestEntryIsQuarantinedAndOlderOneRestores) {
+  const std::string prefix = ring_prefix("quarantine");
+  FleetServerOptions options = small_server();
+  options.snapshot_ring = 3;
+  options.snapshot_prefix = prefix;
+
+  // Reference: an uninterrupted 4-round run.
+  FleetServer reference{workload::AppId::kFacebook, options, {.workers = 2}};
+  reference.run_rounds(4);
+  ASSERT_NE(reference.global(), nullptr);
+  const std::vector<std::uint8_t> want = canonical_bytes(*reference.global());
+
+  // Re-run three rounds on a clean ring, then damage the newest entry
+  // (round 3 -> slot 0) the way a torn disk would.
+  const std::string prefix2 = ring_prefix("quarantine2");
+  FleetServerOptions crashed = options;
+  crashed.snapshot_prefix = prefix2;
+  {
+    FleetServer server{workload::AppId::kFacebook, crashed, {.workers = 2}};
+    server.run_rounds(3);
+  }  // destroyed without drain(): kill -9
+  const std::string newest = prefix2 + ".0";
+  {
+    std::FILE* f = std::fopen(newest.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 40, SEEK_SET);
+    const unsigned char evil = 0xee;
+    std::fwrite(&evil, 1, 1, f);
+    std::fclose(f);
+  }
+
+  // Restore: slot 0 fails CRC -> quarantined to .corrupt; the round-2
+  // boundary in slot 2 is the newest valid entry, and replaying rounds 2-3
+  // from it must converge to the uninterrupted bytes.
+  FleetServer resumed{workload::AppId::kFacebook, crashed, {.workers = 2}};
+  EXPECT_TRUE(resumed.restored());
+  EXPECT_EQ(resumed.round(), 2u);
+  EXPECT_EQ(resumed.stats().snapshots_quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(newest));
+  EXPECT_TRUE(std::filesystem::exists(newest + ".corrupt"));
+  resumed.run_rounds(2);
+  ASSERT_NE(resumed.global(), nullptr);
+  EXPECT_EQ(canonical_bytes(*resumed.global()), want);
+}
+
+TEST(FleetServerRing, DifferentOptionsRefuseToResume) {
+  const std::string prefix = ring_prefix("mismatch");
+  FleetServerOptions options = small_server();
+  options.snapshot_ring = 2;
+  options.snapshot_prefix = prefix;
+  {
+    FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+    server.run_rounds(1);
+  }
+  FleetServerOptions different = options;
+  different.base_seed = options.base_seed + 1;
+  EXPECT_THROW((FleetServer{workload::AppId::kFacebook, different, {.workers = 2}}),
+               SerializeError);
+  // The healthy file must NOT have been quarantined by the refusal.
+  EXPECT_TRUE(std::filesystem::exists(prefix + ".1"));
+}
+
+TEST(FleetServerRing, EmptyRingColdStartsAtRoundZero) {
+  FleetServerOptions options = small_server();
+  options.snapshot_ring = 4;
+  options.snapshot_prefix = ring_prefix("cold");
+  FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+  EXPECT_FALSE(server.restored());
+  EXPECT_EQ(server.round(), 0u);
+  EXPECT_EQ(server.global(), nullptr);
+}
+
+TEST(FleetServerRing, DrainWritesTheCurrentBoundary) {
+  const std::string prefix = ring_prefix("drain");
+  FleetServerOptions options = small_server();
+  options.snapshot_ring = 4;
+  options.snapshot_prefix = prefix;
+  FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+  server.run_rounds(1);
+  server.drain();  // SIGINT/SIGTERM path: idempotent boundary snapshot
+  EXPECT_EQ(server.stats().snapshots_written, 2u);
+  FleetServer resumed{workload::AppId::kFacebook, options, {.workers = 2}};
+  EXPECT_TRUE(resumed.restored());
+  EXPECT_EQ(resumed.round(), 1u);
+}
+
+}  // namespace
+}  // namespace nextgov::sim

@@ -41,7 +41,10 @@ FleetSnapshot sample_snapshot() {
 
 class FleetSnapshotFile : public ::testing::Test {
  protected:
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".corrupt").c_str());
+  }
   std::string path_ = ::testing::TempDir() + "/nextgov_fleet_snapshot_test.bin";
   FleetOptions options_{};  // defaults are fine; only identity matters here
 };
@@ -122,6 +125,73 @@ TEST_F(FleetSnapshotFile, CorruptionAndTruncationAreRejected) {
   }
   EXPECT_THROW((void)load_fleet_snapshot(path_), SerializeError);
   EXPECT_THROW((void)load_fleet_snapshot(path_ + ".missing"), IoError);
+}
+
+TEST_F(FleetSnapshotFile, CorruptSnapshotIsQuarantinedNotLeftInPlace) {
+  // A CRC-failing snapshot must not sit at its path failing every restart:
+  // the load renames it to <path>.corrupt (and says so in the error), so
+  // the next startup falls through to older state instead of re-reading
+  // the same damage forever.
+  save_fleet_snapshot(sample_snapshot(), options_, path_);
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -8, SEEK_END);  // inside the last section's payload
+    const unsigned char evil = 0xa5;
+    std::fwrite(&evil, 1, 1, f);
+    std::fclose(f);
+  }
+  try {
+    (void)load_fleet_snapshot(path_);
+    FAIL() << "expected SerializeError";
+  } catch (const SerializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("quarantined"), std::string::npos) << e.what();
+  }
+  // The original is gone; the damage is preserved for post-mortems.
+  std::FILE* original = std::fopen(path_.c_str(), "rb");
+  EXPECT_EQ(original, nullptr);
+  std::FILE* quarantined = std::fopen((path_ + ".corrupt").c_str(), "rb");
+  ASSERT_NE(quarantined, nullptr);
+  std::fclose(quarantined);
+}
+
+TEST_F(FleetSnapshotFile, ServerStateRoundTripsThroughVersionTwo) {
+  // The fleet-server extension (leases, pending uploads, clock, counters)
+  // must survive a container round trip bit-exactly - it is what makes a
+  // kill -9 resume replay the same arrivals.
+  FleetSnapshot snap = sample_snapshot();
+  snap.has_server_state = true;
+  snap.leases = {DeviceLease{true, 0}, DeviceLease{false, 7}};
+  snap.pending_uploads.push_back(PendingUpload{1, 2, 987654321, 3, table_with(9, 400, 3)});
+  snap.server_clock_us = 123456789;
+  snap.server_counters = {10, 20, 30, 40, 50, 60};
+  save_fleet_snapshot(snap, options_, path_);
+  EXPECT_EQ(SnapshotReader::from_file(path_).version(), kSnapshotVersion);
+
+  const FleetSnapshot back = load_fleet_snapshot(path_);
+  ASSERT_TRUE(back.has_server_state);
+  ASSERT_EQ(back.leases.size(), 2u);
+  EXPECT_TRUE(back.leases[0].active);
+  EXPECT_FALSE(back.leases[1].active);
+  EXPECT_EQ(back.leases[1].rejoin_round, 7u);
+  ASSERT_EQ(back.pending_uploads.size(), 1u);
+  EXPECT_EQ(back.pending_uploads[0].device, 1u);
+  EXPECT_EQ(back.pending_uploads[0].trained_round, 2u);
+  EXPECT_EQ(back.pending_uploads[0].arrival_us, 987654321);
+  EXPECT_EQ(back.pending_uploads[0].attempts_used, 3u);
+  EXPECT_TRUE(back.pending_uploads[0].table == snap.pending_uploads[0].table);
+  EXPECT_EQ(back.server_clock_us, 123456789);
+  EXPECT_EQ(back.server_counters.rounds_served, 10u);
+  EXPECT_EQ(back.server_counters.uploads_accepted, 20u);
+  EXPECT_EQ(back.server_counters.uploads_retried, 30u);
+  EXPECT_EQ(back.server_counters.uploads_lost, 40u);
+  EXPECT_EQ(back.server_counters.late_uploads_merged, 50u);
+  EXPECT_EQ(back.server_counters.departures, 60u);
+
+  // A plain train_fleet checkpoint stays server-less on the way back - the
+  // version-1 decode path in miniature.
+  save_fleet_snapshot(sample_snapshot(), options_, path_);
+  EXPECT_FALSE(load_fleet_snapshot(path_).has_server_state);
 }
 
 }  // namespace

@@ -118,5 +118,30 @@ TEST(Fleet, RejectsBadGeometry) {
   EXPECT_THROW((void)train_fleet(workload::AppId::kFacebook, options), ConfigError);
 }
 
+TEST(Fleet, ValidationPinsEveryDegenerateOption) {
+  // validate_fleet_options is train_fleet's up-front gate: each degenerate
+  // configuration must fail fast with ConfigError instead of producing a
+  // silent no-op or divide-by-zero run. One pin per field.
+  const auto expect_rejected = [](auto mutate, const char* label) {
+    FleetOptions options = small_fleet();
+    mutate(options);
+    EXPECT_THROW(validate_fleet_options(options), ConfigError) << label;
+  };
+  expect_rejected([](auto& o) { o.devices = 0; }, "devices == 0");
+  expect_rejected([](auto& o) { o.shards = 0; }, "shards == 0");
+  expect_rejected([](auto& o) { o.shards = o.devices + 1; }, "shards > devices");
+  expect_rejected([](auto& o) { o.rounds = 0; }, "rounds == 0");
+  expect_rejected([](auto& o) { o.round_duration = SimTime::zero(); }, "zero round");
+  expect_rejected([](auto& o) { o.episode_length = SimTime::zero(); }, "zero episode");
+  expect_rejected([](auto& o) { o.sync_spread = 0; }, "sync_spread == 0");
+  expect_rejected([](auto& o) { o.faults.dropout_rate = 1.0; }, "dropout_rate == 1");
+  expect_rejected([](auto& o) { o.faults.dropout_rate = -0.1; }, "negative dropout");
+  expect_rejected([](auto& o) { o.faults.upload_corruption_rate = 1.5; },
+                  "corruption_rate > 1");
+  expect_rejected([](auto& o) { o.snapshot_every = 2; },
+                  "snapshot_every without snapshot_path");
+  EXPECT_NO_THROW(validate_fleet_options(small_fleet()));
+}
+
 }  // namespace
 }  // namespace nextgov::sim
