@@ -10,24 +10,28 @@
 // *staleness-weighted* merge of whatever uploads it has. A brand-new
 // device then deploys the global table without any local training.
 //
-//   usage: example_federated_training [devices] [shards] [rounds]
+//   usage: example_federated_training [devices] [shards] [rounds] [processes]
 //
 // Defaults stay laptop-friendly (12 devices x 3 rounds x 150 s); the fleet
 // path itself scales to hundreds of devices, e.g.
 //   example_federated_training 200 8 3
+// and with [processes] > 1 each round's training fans out across forked
+// worker processes (sim/multiproc.hpp) with bit-identical results.
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.hpp"
 #include "sim/fleet.hpp"
 #include "workload/apps.hpp"
 
 namespace {
 
-bool parse_count(const char* arg, std::size_t& out) {
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(arg, &end, 10);
-  if (end == arg || *end != '\0' || value == 0) return false;
-  out = static_cast<std::size_t>(value);
+// Strict common parser (rejects "-5", which strtoul silently wrapped to
+// eighteen quintillion devices) plus this example's "positive" requirement.
+bool parse_positive(const char* arg, std::size_t& out) {
+  std::size_t value = 0;
+  if (!nextgov::parse_count(arg, value) || value == 0) return false;
+  out = value;
   return true;
 }
 
@@ -41,13 +45,14 @@ int main(int argc, char** argv) {
   fleet.devices = 12;
   fleet.shards = 3;
   fleet.rounds = 3;
-  const bool args_ok = (argc <= 1 || parse_count(argv[1], fleet.devices)) &&
-                       (argc <= 2 || parse_count(argv[2], fleet.shards)) &&
-                       (argc <= 3 || parse_count(argv[3], fleet.rounds));
-  if (!args_ok || argc > 4 || fleet.shards > fleet.devices) {
+  const bool args_ok = (argc <= 1 || parse_positive(argv[1], fleet.devices)) &&
+                       (argc <= 2 || parse_positive(argv[2], fleet.shards)) &&
+                       (argc <= 3 || parse_positive(argv[3], fleet.rounds)) &&
+                       (argc <= 4 || parse_positive(argv[4], fleet.processes));
+  if (!args_ok || argc > 5 || fleet.shards > fleet.devices) {
     std::fprintf(stderr,
-                 "usage: %s [devices] [shards] [rounds]\n"
-                 "       all positive integers, shards <= devices (default 12 3 3)\n",
+                 "usage: %s [devices] [shards] [rounds] [processes]\n"
+                 "       all positive integers, shards <= devices (default 12 3 3 1)\n",
                  argv[0]);
     return 1;
   }

@@ -15,18 +15,13 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "sim/fleet.hpp"
 #include "workload/apps.hpp"
 
 namespace {
 
-bool parse_count(const char* arg, std::size_t& out) {
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(arg, &end, 10);
-  if (end == arg || *end != '\0') return false;
-  out = static_cast<std::size_t>(value);
-  return true;
-}
+using nextgov::parse_count;  // strict: rejects "-5" (strtoul silently wrapped it)
 
 std::vector<std::uint8_t> canonical_bytes(const nextgov::rl::QTable& table) {
   nextgov::ByteWriter out;

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "sim/fleet_server.hpp"
 #include "workload/apps.hpp"
 
@@ -43,13 +44,7 @@ std::atomic<bool> g_stop{false};
 
 void request_stop(int) { g_stop.store(true); }
 
-bool parse_count(const char* arg, std::size_t& out) {
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(arg, &end, 10);
-  if (end == arg || *end != '\0') return false;
-  out = static_cast<std::size_t>(value);
-  return true;
-}
+using nextgov::parse_count;  // strict: rejects "-5" (strtoul silently wrapped it)
 
 int usage(const char* argv0) {
   std::fprintf(stderr,

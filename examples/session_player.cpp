@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
 #include "workload/apps.hpp"
@@ -65,7 +66,16 @@ int main(int argc, char** argv) {
   // Default 0 = the scenario's own duration (paper session length for
   // catalog apps, the full session for library scenarios).
   const double duration_s = argc > 3 ? std::atof(argv[3]) : 0.0;
-  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  // Strict parse: strtoull silently wrapped "-1" to 2^64 - 1 and accepted
+  // trailing garbage; a mistyped seed should be a usage error, not a
+  // surprise trajectory.
+  std::uint64_t seed = 1;
+  if (argc > 4 && !parse_u64(argv[4], seed)) {
+    std::fprintf(stderr, "session_player: seed must be a non-negative integer, got '%s'\n\n",
+                 argv[4]);
+    print_usage();
+    return 2;
+  }
   const std::string csv_path = argc > 5 ? argv[5] : "";
 
   const std::map<std::string, workload::AppId> apps{

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "sim/multiproc.hpp"
 
 namespace nextgov::sim {
 
@@ -414,9 +415,16 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
     // BatchRunner degenerates smaller fleets to the per-cell path) -
     // either way bit-identical to run_training_plan
     // (tests/sim/fleet_test.cpp).
+    // With processes > 1 the same plan fans out across forked worker
+    // processes instead (each still batching its shard) - merged
+    // bit-identically, so the choice is invisible downstream.
     const std::vector<TrainingResult> round_results =
         plan.empty() ? std::vector<TrainingResult>{}
-                     : run_training_plan_batched(plan, {.workers = runner.workers});
+        : options.processes > 1
+            ? run_training_plan_sharded(plan, {.processes = options.processes,
+                                               .workers = runner.workers,
+                                               .batched = true})
+            : run_training_plan_batched(plan, {.workers = runner.workers});
 
     double reward_sum = 0.0;
     std::uint64_t round_decisions = 0;

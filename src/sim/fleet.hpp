@@ -124,6 +124,12 @@ struct FleetOptions {
   /// must match (see load_fleet_snapshot); `rounds` may be larger than the
   /// snapshotted run's - the fleet simply trains further.
   std::string resume_from{};
+  /// Worker *processes* each round's training fans out across (via
+  /// sim/multiproc.hpp; <= 1 = in-process). Pure execution strategy - the
+  /// merged round results are bit-identical regardless (pinned by
+  /// tests/sim/fleet_test.cpp), so this is deliberately excluded from
+  /// encode_fleet_options, like RunnerOptions::workers.
+  std::size_t processes{1};
 };
 
 /// Per-round progress snapshot, handed to FleetProgressFn after each merge.

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "sim/multiproc.hpp"
 
 namespace nextgov::sim {
 
@@ -78,6 +79,26 @@ bool later(const Event& a, const Event& b) {
 }
 
 }  // namespace
+
+std::int64_t retry_delay_us(SimTime retry_backoff, std::uint32_t attempt,
+                            std::uint64_t jitter_draw) noexcept {
+  const std::int64_t cap = kMaxUploadRetryDelay.us();
+  // Clamp the configured base first so both the doubling loop and the
+  // jitter modulus below operate on a bounded value. validate_... already
+  // guarantees retry_backoff > 0, but clamp defensively anyway.
+  std::int64_t base = retry_backoff.us();
+  if (base < 1) base = 1;
+  if (base > cap) base = cap;
+  // retry_backoff * 2^attempt, saturating at the cap - no shift, so no UB
+  // however large attempt or the configured backoff is.
+  std::int64_t backoff = base;
+  for (std::uint32_t i = 0; i < attempt && backoff < cap; ++i) {
+    backoff = (backoff <= cap / 2) ? backoff * 2 : cap;
+  }
+  const std::int64_t jitter =
+      static_cast<std::int64_t>(jitter_draw % static_cast<std::uint64_t>(base));
+  return backoff + jitter;  // <= 2 * cap, far from int64 overflow
+}
 
 void validate_fleet_server_options(const FleetServerOptions& o) {
   require(o.devices > 0,
@@ -345,9 +366,16 @@ void FleetServer::run_round(const FleetServerProgressFn& progress) {
     cell.initial_table = warm.has_value() ? &*warm : nullptr;
     plan.add(app_factory_, "device_" + std::to_string(d), options_.next_config, cell);
   }
+  // With processes > 1 the plan fans out across forked worker processes
+  // (sim/multiproc.hpp) - merged bit-identically, so snapshots and goldens
+  // are oblivious to the choice.
   const std::vector<TrainingResult> results =
       plan.empty() ? std::vector<TrainingResult>{}
-                   : run_training_plan_batched(plan, {.workers = runner_.workers});
+      : options_.processes > 1
+          ? run_training_plan_sharded(plan, {.processes = options_.processes,
+                                             .workers = runner_.workers,
+                                             .batched = true})
+          : run_training_plan_batched(plan, {.workers = runner_.workers});
   double reward_sum = 0.0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     reward_sum += results[i].final_mean_reward;
@@ -433,11 +461,8 @@ void FleetServer::run_round(const FleetServerProgressFn& progress) {
       }
       SplitMix64 jitter =
           attempt_stream(options_.churn.seed ^ 0x1u, ev.trained_round, ev.device, ev.attempt);
-      const std::int64_t backoff =
-          options_.retry_backoff.us() << std::min<std::uint32_t>(ev.attempt, 20);
       const std::int64_t delay =
-          backoff + static_cast<std::int64_t>(
-                        jitter.next() % static_cast<std::uint64_t>(options_.retry_backoff.us()));
+          retry_delay_us(options_.retry_backoff, ev.attempt, jitter.next());
       heap.push_back(Event{ev.t_us + delay, Event::kUploadArrival, ev.device,
                            ev.trained_round, next_attempt, ev.table});
       std::push_heap(heap.begin(), heap.end(), later);

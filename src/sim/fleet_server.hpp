@@ -112,7 +112,8 @@ struct FleetServerOptions {
   /// Simulated transfer time of one upload attempt.
   SimTime upload_latency{SimTime::from_seconds(2.0)};
   /// Backoff after a failed attempt a (0-based) is
-  /// retry_backoff * 2^a + jitter, jitter a seeded draw in [0, retry_backoff).
+  /// retry_backoff * 2^a + jitter, jitter a seeded draw in [0, retry_backoff),
+  /// both terms saturated at kMaxUploadRetryDelay (see retry_delay_us).
   SimTime retry_backoff{SimTime::from_seconds(4.0)};
   std::uint32_t max_upload_attempts{4};
   /// Device d trains round r with seed derive_seed(derive_seed(base_seed, d), r)
@@ -126,7 +127,35 @@ struct FleetServerOptions {
   /// `<snapshot_prefix>.<round mod K>`. 0 = no persistence.
   std::size_t snapshot_ring{0};
   std::string snapshot_prefix{};
+  /// Worker *processes* each round's training fans out across (via
+  /// sim/multiproc.hpp; <= 1 = in-process). Pure execution strategy - the
+  /// round's merged tables are bit-identical either way (pinned by
+  /// tests/sim/fleet_server_test.cpp), so this is deliberately excluded
+  /// from encode_fleet_server_options: a snapshot written single-process
+  /// resumes sharded and vice versa.
+  std::size_t processes{1};
 };
+
+/// Hard ceiling on one retry's delay (exponential backoff plus jitter,
+/// each clamped to this independently). An hour of simulated time is ~15
+/// default round deadlines - any retry pushed further out than that is
+/// carried across rounds just the same, so capping here costs nothing
+/// observable while keeping the delay arithmetic overflow-free for *any*
+/// configured retry_backoff (a large backoff shifted by the attempt count
+/// used to be signed-overflow UB; see retry_delay_us).
+inline constexpr SimTime kMaxUploadRetryDelay = SimTime::from_seconds(3600.0);
+
+/// Simulated delay before upload attempt `attempt + 1` after attempt
+/// `attempt` (0-based) failed: retry_backoff * 2^attempt, doubling
+/// saturated at kMaxUploadRetryDelay, plus a jitter term `jitter_draw`
+/// reduced modulo the *clamped* base backoff - so the result is positive,
+/// at most 2 * kMaxUploadRetryDelay.us(), and no intermediate value can
+/// overflow regardless of how large retry_backoff was configured.
+/// (The pre-fix code computed `retry_backoff.us() << min(attempt, 20)`,
+/// which is UB for backoffs above ~2.9 hours; pinned by
+/// FleetServerBackoff.* in tests/sim/fleet_server_test.cpp.)
+[[nodiscard]] std::int64_t retry_delay_us(SimTime retry_backoff, std::uint32_t attempt,
+                                          std::uint64_t jitter_draw) noexcept;
 
 /// Validates geometry/timing/churn/persistence fields and throws a
 /// descriptive ConfigError on the first violation. The FleetServer

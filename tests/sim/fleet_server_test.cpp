@@ -279,5 +279,107 @@ TEST(FleetServerRing, DrainWritesTheCurrentBoundary) {
   EXPECT_EQ(resumed.round(), 1u);
 }
 
+// --- the retry-backoff overflow fix ----------------------------------------
+// Pre-fix, the delay was `retry_backoff.us() << min(attempt, 20)` - signed
+// overflow (UB) for any backoff above ~2.9 hours, and the jitter modulus
+// used the *unclamped* base. These pins document the saturating
+// replacement and would trip UBSan (or produce garbage negative delays) on
+// the old code.
+
+TEST(FleetServerBackoff, DoublingPreservedForSmallBackoffs) {
+  // The default-config trajectory (4 s backoff, attempts 0..3) must be
+  // byte-identical to the pre-fix behaviour or every golden would move:
+  // base * 2^attempt plus jitter_draw % base.
+  const SimTime base = SimTime::from_seconds(4.0);
+  EXPECT_EQ(retry_delay_us(base, 0, 0), base.us());
+  EXPECT_EQ(retry_delay_us(base, 1, 0), 2 * base.us());
+  EXPECT_EQ(retry_delay_us(base, 3, 0), 8 * base.us());
+  EXPECT_EQ(retry_delay_us(base, 2, 12345), 4 * base.us() + 12345 % base.us());
+}
+
+TEST(FleetServerBackoff, JitterStaysBelowTheBase) {
+  const SimTime base = SimTime::from_seconds(2.0);
+  for (std::uint64_t draw : {std::uint64_t{0}, std::uint64_t{1}, ~std::uint64_t{0}}) {
+    const std::int64_t delay = retry_delay_us(base, 0, draw);
+    EXPECT_GE(delay, base.us());
+    EXPECT_LT(delay, 2 * base.us());
+  }
+}
+
+TEST(FleetServerBackoff, HugeBackoffSaturatesInsteadOfOverflowing) {
+  // A year of base backoff shifted by min(attempt, 20) is 2^20 * 3.2e13 us
+  // ~ 3.3e19 - past INT64_MAX, so the pre-fix shift was signed-overflow UB
+  // (UBSan traps it); a week "only" produced a positive delay of ~20'000
+  // simulated years. Both must now saturate at the cap.
+  const SimTime week = SimTime::from_seconds(7.0 * 24.0 * 3600.0);
+  const SimTime year = SimTime::from_seconds(365.0 * 24.0 * 3600.0);
+  for (const SimTime base : {week, year}) {
+    for (std::uint32_t attempt : {0u, 1u, 20u, 200u, ~0u}) {
+      const std::int64_t delay = retry_delay_us(base, attempt, ~std::uint64_t{0});
+      EXPECT_GT(delay, 0) << "attempt " << attempt;
+      EXPECT_LE(delay, 2 * kMaxUploadRetryDelay.us()) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(FleetServerBackoff, LargeAttemptCountSaturatesForDefaultBackoff) {
+  const SimTime base = SimTime::from_seconds(4.0);
+  const std::int64_t at_cap = retry_delay_us(base, 60, 0);
+  EXPECT_EQ(at_cap, kMaxUploadRetryDelay.us());
+  EXPECT_EQ(retry_delay_us(base, ~0u, 0), at_cap) << "doubling must have saturated";
+}
+
+TEST(FleetServerBackoff, HugeBackoffServerRoundSurvives) {
+  // End-to-end regression: a server configured with a pathological backoff
+  // and near-certain upload failures must still close its rounds. Pre-fix,
+  // backoff + jitter overflowed int64 at the very first retry (base ~8e18
+  // us, jitter drawn in [0, base)), scheduling events at UB times - delays
+  // wrapped negative could resurrect a failed upload before its failure.
+  FleetServerOptions options = small_server();
+  options.retry_backoff = SimTime::from_seconds(8.0e12);  // ~253 millennia
+  options.churn.upload_fail_rate = 0.9;
+  options.max_upload_attempts = 4;
+  FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+  server.run_rounds(2);
+  EXPECT_EQ(server.round(), 2u);
+  // Every retry was pushed past the cap horizon, so failed first attempts
+  // never land inside their round; the server degrades, never wedges.
+  EXPECT_EQ(server.stats().rounds_served, 2u);
+}
+
+// --- multi-process sharded training ---------------------------------------
+
+TEST(FleetServer, ShardedTrainingBitIdentical) {
+  FleetServerOptions options = small_server();
+  options.churn.straggle_rate = 0.3;
+  options.churn.upload_fail_rate = 0.2;
+  FleetServer in_process{workload::AppId::kFacebook, options, {.workers = 2}};
+  in_process.run_rounds(2);
+
+  FleetServerOptions sharded_options = options;
+  sharded_options.processes = 2;
+  FleetServer sharded{workload::AppId::kFacebook, sharded_options, {.workers = 1}};
+  sharded.run_rounds(2);
+
+  ASSERT_NE(in_process.global(), nullptr);
+  ASSERT_NE(sharded.global(), nullptr);
+  EXPECT_EQ(canonical_bytes(*in_process.global()), canonical_bytes(*sharded.global()));
+  EXPECT_EQ(in_process.stats().total_decisions, sharded.stats().total_decisions);
+  EXPECT_EQ(in_process.stats().uploads_accepted, sharded.stats().uploads_accepted);
+}
+
+TEST(FleetServer, ProcessesKnobExcludedFromOptionsIdentity) {
+  // A snapshot written single-process must resume sharded: the knob is
+  // execution strategy, not trajectory.
+  FleetServerOptions a = small_server();
+  FleetServerOptions b = a;
+  b.processes = 4;
+  ByteWriter wa;
+  ByteWriter wb;
+  encode_fleet_server_options(a, wa);
+  encode_fleet_server_options(b, wb);
+  EXPECT_EQ(wa.data(), wb.data());
+}
+
 }  // namespace
 }  // namespace nextgov::sim

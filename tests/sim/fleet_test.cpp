@@ -143,5 +143,38 @@ TEST(Fleet, ValidationPinsEveryDegenerateOption) {
   EXPECT_NO_THROW(validate_fleet_options(small_fleet()));
 }
 
+TEST(Fleet, DeterministicAcrossProcessCounts) {
+  // The multi-process rung of the same contract DeterministicAcrossWorkerCounts
+  // pins for threads: fanning each round's training across forked worker
+  // processes (sim/multiproc.hpp) must leave every table bit-identical.
+  FleetOptions options = small_fleet();
+  const FleetResult in_process =
+      train_fleet(workload::AppId::kFacebook, options, {.workers = 1});
+  options.processes = 2;
+  const FleetResult sharded =
+      train_fleet(workload::AppId::kFacebook, options, {.workers = 1});
+  expect_tables_identical(in_process.global, sharded.global);
+  EXPECT_EQ(in_process.total_decisions, sharded.total_decisions);
+  EXPECT_EQ(in_process.mean_final_reward, sharded.mean_final_reward);
+  ASSERT_EQ(in_process.shard_tables.size(), sharded.shard_tables.size());
+  for (std::size_t s = 0; s < in_process.shard_tables.size(); ++s) {
+    SCOPED_TRACE(s);
+    expect_tables_identical(in_process.shard_tables[s], sharded.shard_tables[s]);
+  }
+}
+
+TEST(Fleet, ProcessesKnobExcludedFromOptionsIdentity) {
+  // A checkpoint written single-process must resume sharded (and vice
+  // versa): the knob is execution strategy, not trajectory.
+  FleetOptions a = small_fleet();
+  FleetOptions b = a;
+  b.processes = 8;
+  ByteWriter wa;
+  ByteWriter wb;
+  encode_fleet_options(a, wa);
+  encode_fleet_options(b, wb);
+  EXPECT_EQ(wa.data(), wb.data());
+}
+
 }  // namespace
 }  // namespace nextgov::sim
