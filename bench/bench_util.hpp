@@ -37,22 +37,12 @@ inline bool training_results_identical(const sim::TrainingResult& a,
                                        const sim::TrainingResult& b) {
   if (a.converged != b.converged || a.sim_seconds != b.sim_seconds ||
       a.decisions != b.decisions || a.final_mean_reward != b.final_mean_reward ||
-      a.states_visited != b.states_visited ||
-      a.table.action_count() != b.table.action_count() ||
-      a.table.state_count() != b.table.state_count() ||
-      a.table.total_visits() != b.table.total_visits()) {
+      a.states_visited != b.states_visited) {
     return false;
   }
-  for (const auto& [key, ea] : a.table.entries()) {
-    const auto it = b.table.entries().find(key);
-    if (it == b.table.entries().end()) return false;
-    const auto& eb = it->second;
-    if (ea.visits != eb.visits || ea.tried != eb.tried || ea.q.size() != eb.q.size()) {
-      return false;
-    }
-    if (std::memcmp(ea.q.data(), eb.q.data(), ea.q.size() * sizeof(float)) != 0) return false;
-  }
-  return true;
+  // QTable::operator== is exact (IEEE bit patterns, visit counts, tried
+  // masks), which is precisely the contract this helper existed to check.
+  return a.table == b.table;
 }
 
 /// Serial-vs-pool measurement of one RunPlan, shared by the perf benches:

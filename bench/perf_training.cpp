@@ -173,9 +173,26 @@ int main(int argc, char** argv) {
   std::remove(snap_path.c_str());
   const double save_ms = 1e3 * save_s / snap_iters;
   const double load_ms = 1e3 * load_s / snap_iters;
+  // Resident footprint of the flat open-addressing tables this checkpoint
+  // carries (shard aggregates + uploads + last_aggregate), the number the
+  // "memory-bounded Q-tables" line in ROADMAP.md tracks.
+  std::size_t resident_bytes = snap.last_aggregate->memory_bytes();
+  for (const auto& t : snap.shard_tables) {
+    if (t.has_value()) resident_bytes += t->memory_bytes();
+  }
+  for (const auto& u : snap.uploads) {
+    if (u.has_value()) resident_bytes += u->table.memory_bytes();
+  }
+  const std::size_t states = fleet_result.global.state_count();
+  const double bytes_per_state =
+      states > 0 ? static_cast<double>(fleet_result.global.memory_bytes()) /
+                       static_cast<double>(states)
+                 : 0.0;
   std::printf("  snapshot (64-device shape, %zu shards x %zu states): %zu bytes, "
               "save %.2f ms, load+verify %.2f ms\n",
-              snap_shards, fleet_result.global.state_count(), snap_bytes, save_ms, load_ms);
+              snap_shards, states, snap_bytes, save_ms, load_ms);
+  std::printf("  resident tables: %zu bytes total, %.1f bytes/state per table\n",
+              resident_bytes, bytes_per_state);
 
   // --- JSON trajectory file ----------------------------------------------
   const std::string path = out_dir() + "/BENCH_training.json";
@@ -227,6 +244,8 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"shape\": \"64 devices / %zu shards\",\n", snap_shards);
   std::fprintf(out, "    \"states_per_shard\": %zu,\n", fleet_result.global.state_count());
   std::fprintf(out, "    \"bytes_on_disk\": %zu,\n", snap_bytes);
+  std::fprintf(out, "    \"resident_table_bytes\": %zu,\n", resident_bytes);
+  std::fprintf(out, "    \"table_memory_bytes_per_state\": %.1f,\n", bytes_per_state);
   std::fprintf(out, "    \"save_ms\": %.3f,\n", save_ms);
   std::fprintf(out, "    \"load_verify_ms\": %.3f\n", load_ms);
   std::fprintf(out, "  }\n");

@@ -11,14 +11,23 @@
 // device then deploys the global table without any local training.
 //
 //   usage: example_federated_training [devices] [shards] [rounds] [processes]
+//                                     [--delta-uploads] [--out PATH]
 //
 // Defaults stay laptop-friendly (12 devices x 3 rounds x 150 s); the fleet
 // path itself scales to hundreds of devices, e.g.
 //   example_federated_training 200 8 3
 // and with [processes] > 1 each round's training fans out across forked
 // worker processes (sim/multiproc.hpp) with bit-identical results.
+// --delta-uploads switches shard phone-homes to the delta wire encoding
+// (only states touched since the last accepted sync travel) - a pure wire
+// strategy, so the learned tables are byte-identical either way; --out
+// writes the final global table's canonical serialized bytes to PATH,
+// which is how CI cmp-checks that claim.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/parse.hpp"
 #include "sim/fleet.hpp"
@@ -45,13 +54,32 @@ int main(int argc, char** argv) {
   fleet.devices = 12;
   fleet.shards = 3;
   fleet.rounds = 3;
-  const bool args_ok = (argc <= 1 || parse_positive(argv[1], fleet.devices)) &&
-                       (argc <= 2 || parse_positive(argv[2], fleet.shards)) &&
-                       (argc <= 3 || parse_positive(argv[3], fleet.rounds)) &&
-                       (argc <= 4 || parse_positive(argv[4], fleet.processes));
-  if (!args_ok || argc > 5 || fleet.shards > fleet.devices) {
+  std::string out_path;
+  std::vector<const char*> positional;
+  bool flags_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--delta-uploads") == 0) {
+      fleet.delta_uploads = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        flags_ok = false;
+        break;
+      }
+      out_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::size_t n_pos = positional.size();
+  const bool args_ok = flags_ok &&
+                       (n_pos < 1 || parse_positive(positional[0], fleet.devices)) &&
+                       (n_pos < 2 || parse_positive(positional[1], fleet.shards)) &&
+                       (n_pos < 3 || parse_positive(positional[2], fleet.rounds)) &&
+                       (n_pos < 4 || parse_positive(positional[3], fleet.processes));
+  if (!args_ok || n_pos > 4 || fleet.shards > fleet.devices) {
     std::fprintf(stderr,
-                 "usage: %s [devices] [shards] [rounds] [processes]\n"
+                 "usage: %s [devices] [shards] [rounds] [processes]"
+                 " [--delta-uploads] [--out PATH]\n"
                  "       all positive integers, shards <= devices (default 12 3 3 1)\n",
                  argv[0]);
     return 1;
@@ -84,6 +112,29 @@ int main(int argc, char** argv) {
               fleet_result.wall_seconds,
               static_cast<double>(fleet.devices) * fleet_result.device_sim_seconds,
               timing.comm_overhead_s);
+  std::printf("upload wire: %zu full (%llu B) + %zu delta (%llu B)%s\n",
+              fleet_result.uploads_full,
+              static_cast<unsigned long long>(fleet_result.upload_bytes_full),
+              fleet_result.uploads_delta,
+              static_cast<unsigned long long>(fleet_result.upload_bytes_delta),
+              fleet.delta_uploads ? "  [--delta-uploads]" : "");
+
+  if (!out_path.empty()) {
+    // Canonical serialized bytes of the learned global table: two runs that
+    // claim identical training (e.g. full vs delta uploads in CI) can be
+    // compared with a plain `cmp` of these files.
+    ByteWriter canonical;
+    fleet_result.global.serialize(canonical);
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(canonical.data().data(), 1, canonical.data().size(), f);
+    std::fclose(f);
+    std::printf("canonical global table -> %s (%zu bytes)\n", out_path.c_str(),
+                canonical.data().size());
+  }
 
   // A fresh device receives the global table and runs with zero training;
   // compare against stock and against the *stalest* shard's local

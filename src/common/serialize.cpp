@@ -27,16 +27,43 @@ const std::array<std::uint32_t, 256>& crc_table() noexcept {
   return table;
 }
 
+std::uint32_t crc32_accumulate(std::uint32_t crc,
+                               std::span<const std::uint8_t> data) noexcept {
+  const auto& table = crc_table();
+  for (const std::uint8_t byte : data) crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+/// Section checksum for a container of the given format version. From v3 on
+/// the CRC is seeded with the version word itself, so the (otherwise
+/// unprotected) version field cannot be flipped to another in-window value
+/// without every section check failing: a v3 file misread as v2 verifies
+/// with the plain payload CRC and mismatches, and vice versa. v1/v2 files
+/// keep their original plain-payload checksum, which is what preserves
+/// read-back compatibility.
+std::uint32_t section_crc(std::uint32_t version, std::span<const std::uint8_t> payload) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  if (version >= 3) {
+    const std::array<std::uint8_t, 4> seed{
+        static_cast<std::uint8_t>(version), static_cast<std::uint8_t>(version >> 8),
+        static_cast<std::uint8_t>(version >> 16), static_cast<std::uint8_t>(version >> 24)};
+    crc = crc32_accumulate(crc, seed);
+  }
+  return crc32_accumulate(crc, payload) ^ 0xFFFFFFFFu;
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
-  const auto& table = crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const std::uint8_t byte : data) crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
-  return crc ^ 0xFFFFFFFFu;
+  return crc32_accumulate(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
 }
 
 // --- ByteWriter -------------------------------------------------------------
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
 
 void ByteWriter::u32(std::uint32_t v) {
   buf_.push_back(static_cast<std::uint8_t>(v));
@@ -84,6 +111,14 @@ void ByteReader::skip(std::size_t n) {
 std::uint8_t ByteReader::u8() {
   need(1);
   return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      static_cast<std::uint32_t>(data_[pos_]) | static_cast<std::uint32_t>(data_[pos_ + 1]) << 8);
+  pos_ += 2;
+  return v;
 }
 
 std::uint32_t ByteReader::u32() {
@@ -138,7 +173,7 @@ std::vector<std::uint8_t> SnapshotWriter::bytes() const {
   for (const Section& s : sections_) {
     out.str(s.name);
     out.u64(s.payload.size());
-    out.u32(crc32(s.payload.data()));
+    out.u32(section_crc(kSnapshotVersion, s.payload.data()));
     out.bytes(s.payload.data());
   }
   return out.data();
@@ -193,7 +228,7 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes, std::string labe
     s.offset = in.pos();
     s.size = static_cast<std::size_t>(size);
     const std::span<const std::uint8_t> payload{bytes_.data() + s.offset, s.size};
-    const std::uint32_t actual_crc = crc32(payload);
+    const std::uint32_t actual_crc = section_crc(version_, payload);
     if (actual_crc != expected_crc) {
       in.fail("section '" + s.name + "' failed its CRC32 check (stored " +
               std::to_string(expected_crc) + ", computed " + std::to_string(actual_crc) +

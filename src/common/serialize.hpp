@@ -49,6 +49,7 @@ class SerializeError : public IoError {
 class ByteWriter {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
@@ -75,6 +76,7 @@ class ByteReader {
       : data_{data}, context_{std::move(context)} {}
 
   [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
   [[nodiscard]] std::uint32_t u32();
   [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
@@ -103,15 +105,20 @@ class ByteReader {
 };
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4e585353;  // "NXSS"
-/// Version 2 (fleet-server era): fleet snapshots may carry an additional
+/// Version 3 (delta-upload era): fleet snapshots may carry an additional
+/// `sync_state` section (per-shard sync cursors + the sync-base tables that
+/// delta-encoded uploads diff against, plus cumulative wire-byte counters -
+/// see sim/fleet.hpp). Version 2 (fleet-server era) added the optional
 /// `server_state` section (device leases, deadline clock, pending late
-/// uploads - see sim/fleet.hpp). The container framing itself is unchanged;
-/// version-1 files simply lack the section and decode through the same
-/// path with the server fields defaulted.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
-/// Oldest container version the reader still accepts (read-back-one: a
-/// rolling fleet upgrade can always restore the previous release's
-/// checkpoints).
+/// uploads). The container framing itself is unchanged across all three
+/// versions: older files simply lack the newer sections and decode through
+/// the same path with those fields defaulted.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// Oldest container version the reader still accepts. The nominal policy is
+/// read-back-one (a rolling fleet upgrade can always restore the previous
+/// release's checkpoints), but because every addition since v1 has been an
+/// optional section, the window is kept at 1: refusing v1 would cost
+/// compatibility without retiring any decode path.
 inline constexpr std::uint32_t kSnapshotVersionMin = 1;
 
 /// Assembles a sectioned snapshot. Sections are written in call order;

@@ -1,6 +1,7 @@
 #include "rl/federated.hpp"
 
 #include <cmath>
+#include <unordered_map>
 
 #include "common/error.hpp"
 
@@ -32,21 +33,21 @@ QTable merge_impl(std::span<const QTable* const> tables,
   for (std::size_t ti = 0; ti < tables.size(); ++ti) {
     const QTable* t = tables[ti];
     const double tw = table_weight[ti];
-    for (const auto& [key, e] : t->entries()) {
-      auto [it, inserted] = acc.try_emplace(key);
+    t->for_each_entry([&](const QTable::EntryView& e) {
+      auto [it, inserted] = acc.try_emplace(e.key());
       if (inserted) {
         it->second.weighted_q.assign(actions, 0.0);
         it->second.weight.assign(actions, 0.0);
       }
       // Visit count + 1 so tables with zero recorded visits still count.
-      const double w = tw * (static_cast<double>(e.visits) + 1.0);
+      const double w = tw * (static_cast<double>(e.visits()) + 1.0);
       for (std::size_t a = 0; a < actions && a < 32; ++a) {
-        if ((e.tried & (1u << a)) == 0) continue;
-        it->second.weighted_q[a] += w * static_cast<double>(e.q[a]);
+        if ((e.tried() & (1u << a)) == 0) continue;
+        it->second.weighted_q[a] += w * static_cast<double>(e.q(a));
         it->second.weight[a] += w;
       }
-      it->second.visits += tw * static_cast<double>(e.visits);
-    }
+      it->second.visits += tw * static_cast<double>(e.visits());
+    });
   }
   for (const auto& [key, a] : acc) {
     for (std::size_t action = 0; action < actions; ++action) {

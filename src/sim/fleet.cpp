@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "rl/qtable_delta.hpp"
 #include "sim/multiproc.hpp"
 
 namespace nextgov::sim {
@@ -68,6 +69,7 @@ void damage_upload(std::vector<std::uint8_t>& blob, const FleetFaultPlan& faults
 constexpr const char* kOptionsSection = "fleet_options";
 constexpr const char* kStateSection = "fleet_state";
 constexpr const char* kServerSection = "server_state";
+constexpr const char* kSyncSection = "sync_state";
 
 void write_optional_table(ByteWriter& out, const std::optional<rl::QTable>& table) {
   out.boolean(table.has_value());
@@ -81,13 +83,45 @@ std::optional<rl::QTable> read_optional_table(ByteReader& in) {
 
 }  // namespace
 
-rl::QTable strip_visit_mass(const rl::QTable& table) {
-  rl::QTable out{table.action_count()};
-  for (const auto& [key, e] : table.entries()) {
-    for (std::size_t a = 0; a < table.action_count() && a < 32; ++a) {
-      if ((e.tried & (1u << a)) != 0) out.set_q(key, a, e.q[a]);
+std::vector<std::uint8_t> encode_upload(const rl::QTable& table, const rl::QTable* delta_base,
+                                        bool* went_delta) {
+  SnapshotWriter wire;
+  bool as_delta = false;
+  if (delta_base != nullptr) {
+    const std::optional<rl::QTableDelta> delta = rl::try_make_delta(*delta_base, table);
+    if (delta.has_value()) {
+      delta->serialize(wire.section("delta"));
+      as_delta = true;
     }
   }
+  if (!as_delta) table.serialize(wire.section("upload"));
+  if (went_delta != nullptr) *went_delta = as_delta;
+  return wire.bytes();
+}
+
+rl::QTable decode_upload(std::vector<std::uint8_t> blob, const rl::QTable* delta_base,
+                         const std::string& label) {
+  const SnapshotReader decoded{std::move(blob), label};
+  if (decoded.has("delta")) {
+    if (delta_base == nullptr) {
+      throw SerializeError(label +
+                           ": delta-encoded upload, but the receiver holds no base table "
+                           "to apply it to");
+    }
+    ByteReader payload = decoded.section("delta");
+    return rl::apply_delta(*delta_base, rl::QTableDelta::deserialize(payload));
+  }
+  ByteReader payload = decoded.section("upload");
+  return rl::QTable::deserialize(payload);
+}
+
+rl::QTable strip_visit_mass(const rl::QTable& table) {
+  rl::QTable out{table.action_count()};
+  table.for_each_entry([&](const rl::QTable::EntryView& e) {
+    for (std::size_t a = 0; a < table.action_count() && a < 32; ++a) {
+      if ((e.tried() & (1u << a)) != 0) out.set_q(e.key(), a, e.q(a));
+    }
+  });
   return out;
 }
 
@@ -187,32 +221,50 @@ void write_fleet_state_sections(SnapshotWriter& out, const FleetSnapshot& snapsh
     state.u64(static_cast<std::uint64_t>(snapshot.shard_last_upload[s]));
   }
   write_optional_table(state, snapshot.last_aggregate);
-  if (!snapshot.has_server_state) return;
-  // Version-2 extension: the long-running server's lease / deadline /
-  // pending-upload state (see fleet_server.hpp). A separate section keeps
-  // the version-1 "fleet_state" layout byte-stable.
-  ByteWriter& server = out.section(kServerSection);
-  server.i64(snapshot.server_clock_us);
-  server.u32(static_cast<std::uint32_t>(snapshot.leases.size()));
-  for (const DeviceLease& lease : snapshot.leases) {
-    server.boolean(lease.active);
-    server.u64(static_cast<std::uint64_t>(lease.rejoin_round));
+  if (snapshot.has_server_state) {
+    // Version-2 extension: the long-running server's lease / deadline /
+    // pending-upload state (see fleet_server.hpp). A separate section keeps
+    // the version-1 "fleet_state" layout byte-stable.
+    ByteWriter& server = out.section(kServerSection);
+    server.i64(snapshot.server_clock_us);
+    server.u32(static_cast<std::uint32_t>(snapshot.leases.size()));
+    for (const DeviceLease& lease : snapshot.leases) {
+      server.boolean(lease.active);
+      server.u64(static_cast<std::uint64_t>(lease.rejoin_round));
+    }
+    server.u32(static_cast<std::uint32_t>(snapshot.pending_uploads.size()));
+    for (const PendingUpload& pending : snapshot.pending_uploads) {
+      server.u64(static_cast<std::uint64_t>(pending.device));
+      server.u64(static_cast<std::uint64_t>(pending.trained_round));
+      server.i64(pending.arrival_us);
+      server.u32(pending.attempts_used);
+      pending.table.serialize(server);
+    }
+    const FleetSnapshot::ServerCounters& c = snapshot.server_counters;
+    server.u64(c.rounds_served);
+    server.u64(c.uploads_accepted);
+    server.u64(c.uploads_retried);
+    server.u64(c.uploads_lost);
+    server.u64(c.late_uploads_merged);
+    server.u64(c.departures);
   }
-  server.u32(static_cast<std::uint32_t>(snapshot.pending_uploads.size()));
-  for (const PendingUpload& pending : snapshot.pending_uploads) {
-    server.u64(static_cast<std::uint64_t>(pending.device));
-    server.u64(static_cast<std::uint64_t>(pending.trained_round));
-    server.i64(pending.arrival_us);
-    server.u32(pending.attempts_used);
-    pending.table.serialize(server);
+  // Version-3 extension: per-shard delta bases + cumulative upload-wire
+  // counters. Again a separate section, so the v1/v2 layouts above stay
+  // byte-stable and pre-v3 files simply decode without it.
+  NEXTGOV_ASSERT(snapshot.sync.bases.size() == snapshot.sync.cursors.size());
+  ByteWriter& sync = out.section(kSyncSection);
+  sync.u32(static_cast<std::uint32_t>(snapshot.sync.bases.size()));
+  for (std::size_t s = 0; s < snapshot.sync.bases.size(); ++s) {
+    sync.boolean(snapshot.sync.bases[s].has_value());
+    if (snapshot.sync.bases[s].has_value()) {
+      sync.u64(static_cast<std::uint64_t>(snapshot.sync.cursors[s]));
+      snapshot.sync.bases[s]->serialize(sync);
+    }
   }
-  const FleetSnapshot::ServerCounters& c = snapshot.server_counters;
-  server.u64(c.rounds_served);
-  server.u64(c.uploads_accepted);
-  server.u64(c.uploads_retried);
-  server.u64(c.uploads_lost);
-  server.u64(c.late_uploads_merged);
-  server.u64(c.departures);
+  sync.u64(snapshot.sync.upload_bytes_full);
+  sync.u64(snapshot.sync.upload_bytes_delta);
+  sync.u64(snapshot.sync.uploads_full);
+  sync.u64(snapshot.sync.uploads_delta);
 }
 
 FleetSnapshot read_fleet_state_sections(const SnapshotReader& snapshot) {
@@ -242,43 +294,66 @@ FleetSnapshot read_fleet_state_sections(const SnapshotReader& snapshot) {
   }
   out.last_aggregate = read_optional_table(in);
   if (!in.done()) in.fail("trailing bytes after the fleet state payload");
-  if (!snapshot.has(kServerSection)) return out;  // v1 file or train_fleet checkpoint
-  ByteReader server = snapshot.section(kServerSection);
-  out.has_server_state = true;
-  out.server_clock_us = server.i64();
-  const std::uint32_t leases = server.u32();
-  if (leases > (1u << 20)) {
-    server.fail("corrupt fleet snapshot: implausible lease count " + std::to_string(leases));
+  if (snapshot.has(kServerSection)) {
+    ByteReader server = snapshot.section(kServerSection);
+    out.has_server_state = true;
+    out.server_clock_us = server.i64();
+    const std::uint32_t leases = server.u32();
+    if (leases > (1u << 20)) {
+      server.fail("corrupt fleet snapshot: implausible lease count " + std::to_string(leases));
+    }
+    out.leases.reserve(leases);
+    for (std::uint32_t d = 0; d < leases; ++d) {
+      DeviceLease lease;
+      lease.active = server.boolean();
+      lease.rejoin_round = static_cast<std::size_t>(server.u64());
+      out.leases.push_back(lease);
+    }
+    const std::uint32_t pending = server.u32();
+    if (pending > (1u << 20)) {
+      server.fail("corrupt fleet snapshot: implausible pending-upload count " +
+                  std::to_string(pending));
+    }
+    out.pending_uploads.reserve(pending);
+    for (std::uint32_t i = 0; i < pending; ++i) {
+      const std::size_t device = static_cast<std::size_t>(server.u64());
+      const std::size_t trained_round = static_cast<std::size_t>(server.u64());
+      const std::int64_t arrival_us = server.i64();
+      const std::uint32_t attempts_used = server.u32();
+      out.pending_uploads.push_back(PendingUpload{device, trained_round, arrival_us,
+                                                  attempts_used, rl::QTable::deserialize(server)});
+    }
+    FleetSnapshot::ServerCounters& c = out.server_counters;
+    c.rounds_served = server.u64();
+    c.uploads_accepted = server.u64();
+    c.uploads_retried = server.u64();
+    c.uploads_lost = server.u64();
+    c.late_uploads_merged = server.u64();
+    c.departures = server.u64();
+    if (!server.done()) server.fail("trailing bytes after the server state payload");
   }
-  out.leases.reserve(leases);
-  for (std::uint32_t d = 0; d < leases; ++d) {
-    DeviceLease lease;
-    lease.active = server.boolean();
-    lease.rejoin_round = static_cast<std::size_t>(server.u64());
-    out.leases.push_back(lease);
+  if (!snapshot.has(kSyncSection)) return out;  // pre-v3 file: bases empty, counters zero
+  ByteReader sync = snapshot.section(kSyncSection);
+  const std::uint32_t bases = sync.u32();
+  if (bases > (1u << 20)) {
+    sync.fail("corrupt fleet snapshot: implausible sync-base count " + std::to_string(bases));
   }
-  const std::uint32_t pending = server.u32();
-  if (pending > (1u << 20)) {
-    server.fail("corrupt fleet snapshot: implausible pending-upload count " +
-                std::to_string(pending));
+  out.sync.bases.reserve(bases);
+  out.sync.cursors.reserve(bases);
+  for (std::uint32_t s = 0; s < bases; ++s) {
+    if (sync.boolean()) {
+      out.sync.cursors.push_back(static_cast<std::size_t>(sync.u64()));
+      out.sync.bases.push_back(rl::QTable::deserialize(sync));
+    } else {
+      out.sync.cursors.push_back(kNeverUploaded);
+      out.sync.bases.push_back(std::nullopt);
+    }
   }
-  out.pending_uploads.reserve(pending);
-  for (std::uint32_t i = 0; i < pending; ++i) {
-    const std::size_t device = static_cast<std::size_t>(server.u64());
-    const std::size_t trained_round = static_cast<std::size_t>(server.u64());
-    const std::int64_t arrival_us = server.i64();
-    const std::uint32_t attempts_used = server.u32();
-    out.pending_uploads.push_back(PendingUpload{device, trained_round, arrival_us,
-                                                attempts_used, rl::QTable::deserialize(server)});
-  }
-  FleetSnapshot::ServerCounters& c = out.server_counters;
-  c.rounds_served = server.u64();
-  c.uploads_accepted = server.u64();
-  c.uploads_retried = server.u64();
-  c.uploads_lost = server.u64();
-  c.late_uploads_merged = server.u64();
-  c.departures = server.u64();
-  if (!server.done()) server.fail("trailing bytes after the server state payload");
+  out.sync.upload_bytes_full = sync.u64();
+  out.sync.upload_bytes_delta = sync.u64();
+  out.sync.uploads_full = sync.u64();
+  out.sync.uploads_delta = sync.u64();
+  if (!sync.done()) sync.fail("trailing bytes after the sync state payload");
   return out;
 }
 
@@ -351,12 +426,22 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
   std::vector<std::optional<rl::QTable>> shard_tables(n_shards);
   std::vector<std::optional<FleetUpload>> uploads(n_shards);
   std::vector<std::size_t> shard_last_upload(n_shards, kNeverUploaded);
+  // Per-shard delta base: the aggregate both ends recorded at the shard's
+  // last *accepted* sync. Maintained whether or not delta_uploads is on, so
+  // the flag can flip across a resume without changing anything but the
+  // wire bytes.
+  std::vector<std::optional<rl::QTable>> sync_bases(n_shards);
+  std::vector<std::size_t> sync_cursor(n_shards, kNeverUploaded);
 
   std::size_t start_round = 0;
   std::uint64_t total_decisions = 0;
   double last_round_mean_reward = 0.0;
   std::uint64_t dropped_device_rounds = 0;
   std::uint64_t rejected_uploads = 0;
+  std::uint64_t upload_bytes_full = 0;
+  std::uint64_t upload_bytes_delta = 0;
+  std::uint64_t uploads_full = 0;
+  std::uint64_t uploads_delta = 0;
   std::size_t snapshots_written = 0;
   // The server's aggregate after the most recent sync. Shard 0 syncs every
   // round, so (absent total upload loss) this is populated by the final
@@ -376,6 +461,17 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
     last_round_mean_reward = snapshot.last_round_mean_reward;
     dropped_device_rounds = snapshot.dropped_device_rounds;
     rejected_uploads = snapshot.rejected_uploads;
+    // Pre-v3 snapshots carry no sync state: the bases stay empty (every
+    // shard's first post-resume upload goes out full) and the counters
+    // restart at zero - the trajectory is identical either way.
+    if (snapshot.sync.bases.size() == n_shards) {
+      sync_bases = std::move(snapshot.sync.bases);
+      sync_cursor = std::move(snapshot.sync.cursors);
+    }
+    upload_bytes_full = snapshot.sync.upload_bytes_full;
+    upload_bytes_delta = snapshot.sync.upload_bytes_delta;
+    uploads_full = snapshot.sync.uploads_full;
+    uploads_delta = snapshot.sync.uploads_delta;
   }
 
   for (std::size_t round = start_round; round < options.rounds; ++round) {
@@ -460,34 +556,46 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
     //    its previous upload simply ages.
     std::vector<bool> synced(n_shards, false);
     std::size_t round_rejected = 0;
+    std::uint64_t round_upload_bytes = 0;
+    std::size_t round_delta_uploads = 0;
     bool any_synced = false;
     for (std::size_t s = 0; s < n_shards; ++s) {
       if ((round + 1) % sync_period(s) != 0) continue;
       if (!shard_tables[s].has_value()) continue;  // nothing trained yet
-      if (options.faults.upload_corruption_rate > 0.0) {
-        // Wire-format round trip: serialize, maybe damage, let the server
-        // decode. Both damage modes (bit flip / truncation) are always
-        // detected - CRC32 catches any single-byte error, the container's
-        // length fields catch truncation - so a bad upload can never
-        // poison the aggregate.
-        SnapshotWriter wire;
-        shard_tables[s]->serialize(wire.section("upload"));
-        std::vector<std::uint8_t> blob = wire.bytes();
-        if (fault_fires(options.faults, kCorruptSalt, round, s,
-                        options.faults.upload_corruption_rate)) {
-          damage_upload(blob, options.faults, round, s);
-        }
-        try {
-          const SnapshotReader decoded{std::move(blob),
-                                       "upload from shard " + std::to_string(s)};
-          ByteReader payload = decoded.section("upload");
-          uploads[s] = FleetUpload{rl::QTable::deserialize(payload), round};
-        } catch (const SerializeError&) {
-          ++round_rejected;
-          continue;
-        }
+      // Every upload travels as CRC-guarded snapshot bytes: the full table,
+      // or - with delta_uploads on, once the shard has synced before - a
+      // delta against the aggregate both ends recorded at the last accepted
+      // sync. The decoded table is bit-identical to the sender's on either
+      // path (pinned by tests/sim/fleet_test.cpp), so the wire strategy
+      // never shows in the trajectory, only in the byte counters. Both
+      // damage modes (bit flip / truncation) are always detected - CRC32
+      // catches any single-byte error, the container's length fields catch
+      // truncation - so a bad upload can never poison the aggregate: the
+      // shard keeps its local state and its previous upload simply ages.
+      const rl::QTable* base =
+          options.delta_uploads && sync_bases[s].has_value() ? &*sync_bases[s] : nullptr;
+      bool went_delta = false;
+      std::vector<std::uint8_t> blob = encode_upload(*shard_tables[s], base, &went_delta);
+      round_upload_bytes += blob.size();
+      if (went_delta) {
+        upload_bytes_delta += blob.size();
+        ++uploads_delta;
+        ++round_delta_uploads;
       } else {
-        uploads[s] = FleetUpload{*shard_tables[s], round};
+        upload_bytes_full += blob.size();
+        ++uploads_full;
+      }
+      if (fault_fires(options.faults, kCorruptSalt, round, s,
+                      options.faults.upload_corruption_rate)) {
+        damage_upload(blob, options.faults, round, s);
+      }
+      try {
+        uploads[s] = FleetUpload{
+            decode_upload(std::move(blob), base, "upload from shard " + std::to_string(s)),
+            round};
+      } catch (const SerializeError&) {
+        ++round_rejected;
+        continue;
       }
       shard_last_upload[s] = round;
       synced[s] = true;
@@ -497,7 +605,13 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
     if (any_synced) {
       last_aggregate = server_aggregate(uploads, round, options.merge_policy);
       for (std::size_t s = 0; s < n_shards; ++s) {
-        if (synced[s]) shard_tables[s] = *last_aggregate;
+        if (synced[s]) {
+          shard_tables[s] = *last_aggregate;
+          // Both ends record the downloaded aggregate as the shard's next
+          // delta base - its next upload evolves from exactly this table.
+          sync_bases[s] = *last_aggregate;
+          sync_cursor[s] = round;
+        }
       }
     }
 
@@ -513,6 +627,8 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
       stats.round_decisions = round_decisions;
       stats.dropped_devices = round_dropped;
       stats.rejected_uploads = round_rejected;
+      stats.upload_bytes = round_upload_bytes;
+      stats.delta_uploads = round_delta_uploads;
       progress(stats);
     }
 
@@ -530,6 +646,12 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
       snapshot.uploads = uploads;
       snapshot.shard_last_upload = shard_last_upload;
       snapshot.last_aggregate = last_aggregate;
+      snapshot.sync.bases = sync_bases;
+      snapshot.sync.cursors = sync_cursor;
+      snapshot.sync.upload_bytes_full = upload_bytes_full;
+      snapshot.sync.upload_bytes_delta = upload_bytes_delta;
+      snapshot.sync.uploads_full = uploads_full;
+      snapshot.sync.uploads_delta = uploads_delta;
       save_fleet_snapshot(snapshot, options, options.snapshot_path);
       ++snapshots_written;
     }
@@ -559,6 +681,10 @@ FleetResult train_fleet(AppFactory app_factory, const FleetOptions& options,
       .dropped_device_rounds = dropped_device_rounds,
       .rejected_uploads = rejected_uploads,
       .snapshots_written = snapshots_written,
+      .upload_bytes_full = upload_bytes_full,
+      .upload_bytes_delta = upload_bytes_delta,
+      .uploads_full = uploads_full,
+      .uploads_delta = uploads_delta,
   };
   result.shard_tables.reserve(n_shards);
   for (auto& t : shard_tables) {

@@ -130,6 +130,19 @@ struct FleetOptions {
   /// tests/sim/fleet_test.cpp), so this is deliberately excluded from
   /// encode_fleet_options, like RunnerOptions::workers.
   std::size_t processes{1};
+  /// Upload wire strategy: when true, a shard that has synced before encodes
+  /// its upload as a QTableDelta (rl/qtable_delta.hpp) against the aggregate
+  /// it downloaded at its last accepted sync - only the states touched since
+  /// then travel, with signed visit deltas - and the server applies the
+  /// delta to its mirror of that base. First-ever uploads, and any upload
+  /// whose delta cannot replay bit-exactly (try_make_delta declines), fall
+  /// back to the full table. Either way the decoded upload is bit-identical
+  /// to the sender's table, so the run's trajectory - every merge, every
+  /// golden - is unchanged; only FleetResult's upload byte counters differ.
+  /// Pure wire strategy, so deliberately excluded from encode_fleet_options
+  /// like `processes`: a snapshot written full-upload resumes delta and vice
+  /// versa (pinned by tests/sim/fleet_test.cpp).
+  bool delta_uploads{false};
 };
 
 /// Per-round progress snapshot, handed to FleetProgressFn after each merge.
@@ -141,6 +154,8 @@ struct FleetRoundStats {
   std::uint64_t round_decisions{0};        ///< decisions across all devices
   std::size_t dropped_devices{0};          ///< devices that missed this round
   std::size_t rejected_uploads{0};         ///< uploads the server refused (CRC)
+  std::uint64_t upload_bytes{0};           ///< wire bytes of this round's uploads
+  std::size_t delta_uploads{0};            ///< this round's uploads that went as deltas
 };
 using FleetProgressFn = std::function<void(const FleetRoundStats&)>;
 
@@ -165,6 +180,14 @@ struct FleetResult {
   std::uint64_t dropped_device_rounds{0};  ///< (device, round) pairs lost to dropout
   std::uint64_t rejected_uploads{0};       ///< uploads refused by the CRC check
   std::size_t snapshots_written{0};        ///< by this call (not the resumed-from run)
+  // --- upload wire accounting (cumulative across resumes) ---
+  // Every upload travels as serialized bytes (full table or delta); these
+  // count what was put on the wire, including attempts the fault plan later
+  // damaged. With delta_uploads off, the delta counters stay zero.
+  std::uint64_t upload_bytes_full{0};   ///< bytes of full-table uploads
+  std::uint64_t upload_bytes_delta{0};  ///< bytes of delta-encoded uploads
+  std::uint64_t uploads_full{0};        ///< uploads sent as full tables
+  std::uint64_t uploads_delta{0};       ///< uploads sent as deltas
 };
 
 /// One shard's last accepted upload as the global server holds it.
@@ -232,6 +255,30 @@ struct FleetSnapshot {
   std::vector<PendingUpload> pending_uploads;  ///< in flight across the boundary
   std::int64_t server_clock_us{0};            ///< simulated clock at the boundary
   ServerCounters server_counters;
+
+  // --- delta-upload extension (container version 3, "sync_state" section) --
+  // The per-shard delta bases and the cumulative upload-wire counters, so a
+  // resumed run replays the same delta/full upload decisions and keeps
+  // counting from where it stopped. Absent in version-1/2 files: the bases
+  // then restore empty and every shard's first post-resume upload simply
+  // goes out full - the trajectory is unaffected either way (the decoded
+  // upload is always bit-identical to the sender's table). FleetServer
+  // snapshots persist only the counters (its delta base is the round's warm
+  // table, recomputed from last_aggregate on restore), leaving `bases`
+  // empty.
+  struct SyncState {
+    /// Per shard: the aggregate downloaded at the shard's last accepted
+    /// sync (the delta base), or nullopt if it never synced.
+    std::vector<std::optional<rl::QTable>> bases;
+    /// Per shard: round index of that last accepted sync (kNeverUploaded
+    /// when `bases` is nullopt there).
+    std::vector<std::size_t> cursors;
+    std::uint64_t upload_bytes_full{0};
+    std::uint64_t upload_bytes_delta{0};
+    std::uint64_t uploads_full{0};
+    std::uint64_t uploads_delta{0};
+  };
+  SyncState sync;
 };
 
 /// Validates the geometry/cadence/fault/persistence fields of `options` and
@@ -288,12 +335,15 @@ void save_fleet_snapshot(const FleetSnapshot& snapshot, const FleetOptions& opti
 /// fleet-server snapshots.
 void encode_next_config(const core::NextConfig& config, ByteWriter& out);
 
-/// Writes the "fleet_state" section (and, when snapshot.has_server_state,
-/// the version-2 "server_state" section) into `out`.
+/// Writes the "fleet_state" section (when snapshot.has_server_state, the
+/// version-2 "server_state" section) and the version-3 "sync_state" section
+/// into `out`.
 void write_fleet_state_sections(SnapshotWriter& out, const FleetSnapshot& snapshot);
 
 /// Decodes what write_fleet_state_sections() wrote. Version-1 containers
-/// (no "server_state" section) decode with the server fields defaulted.
+/// (no "server_state" section) decode with the server fields defaulted;
+/// pre-version-3 containers (no "sync_state" section) decode with empty
+/// delta bases and zero upload counters.
 [[nodiscard]] FleetSnapshot read_fleet_state_sections(const SnapshotReader& in);
 
 /// Reads and fully validates the snapshot container at `path`. On a
@@ -310,5 +360,29 @@ void write_fleet_state_sections(SnapshotWriter& out, const FleetSnapshot& snapsh
 /// device, which would inflate it by the fleet size every round and swamp
 /// the staleness weighting.
 [[nodiscard]] rl::QTable strip_visit_mass(const rl::QTable& table);
+
+// --- upload wire codec (shared by train_fleet and FleetServer) -------------
+// One CRC-guarded snapshot container per upload, holding either an "upload"
+// section (the full table) or a "delta" section (a QTableDelta against a
+// base both ends hold). decode_upload(encode_upload(t, ...)) == t
+// bit-exactly on both paths, so the wire strategy is invisible to the
+// training trajectory; damaged bytes always surface as SerializeError via
+// the container's CRC/length checks.
+
+/// Encodes `table` as upload wire bytes: a delta against `*delta_base` when
+/// a base is given and the delta can replay bit-exactly (see
+/// rl::try_make_delta), else the full table. `*went_delta` (optional)
+/// reports which path was taken.
+[[nodiscard]] std::vector<std::uint8_t> encode_upload(const rl::QTable& table,
+                                                      const rl::QTable* delta_base,
+                                                      bool* went_delta = nullptr);
+
+/// Decodes upload wire bytes produced by encode_upload. When the blob is a
+/// delta, `delta_base` must be the same base the sender encoded against;
+/// a missing or mismatched base throws SerializeError, exactly like any
+/// damaged blob.
+[[nodiscard]] rl::QTable decode_upload(std::vector<std::uint8_t> blob,
+                                       const rl::QTable* delta_base,
+                                       const std::string& label);
 
 }  // namespace nextgov::sim

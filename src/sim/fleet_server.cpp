@@ -205,6 +205,13 @@ FleetSnapshot FleetServer::boundary_snapshot() const {
   snap.server_counters.uploads_lost = stats_.uploads_lost;
   snap.server_counters.late_uploads_merged = stats_.late_uploads_merged;
   snap.server_counters.departures = stats_.departures;
+  // Only the wire counters go into the sync_state section: the server's
+  // delta base is the round's warm table, recomputed from last_aggregate on
+  // restore, so no bases need persisting (snap.sync.bases stays empty).
+  snap.sync.upload_bytes_full = stats_.upload_bytes_full;
+  snap.sync.upload_bytes_delta = stats_.upload_bytes_delta;
+  snap.sync.uploads_full = stats_.uploads_full;
+  snap.sync.uploads_delta = stats_.uploads_delta;
   return snap;
 }
 
@@ -284,6 +291,10 @@ void FleetServer::restore_from_ring() {
   stats_.late_uploads_merged = best->server_counters.late_uploads_merged;
   stats_.departures = best->server_counters.departures;
   stats_.total_decisions = best->total_decisions;
+  stats_.upload_bytes_full = best->sync.upload_bytes_full;
+  stats_.upload_bytes_delta = best->sync.upload_bytes_delta;
+  stats_.uploads_full = best->sync.uploads_full;
+  stats_.uploads_delta = best->sync.uploads_delta;
   restored_ = true;
 }
 
@@ -431,26 +442,40 @@ void FleetServer::run_round(const FleetServerProgressFn& progress) {
     }
     // Upload arrival: the table travels as CRC-guarded snapshot bytes; a
     // seeded per-attempt failure damages them in flight, the decode throws,
-    // and the device retries with exponential backoff + jitter.
+    // and the device retries with exponential backoff + jitter. With
+    // delta_uploads on, a same-round upload deltas against the round's warm
+    // table (the base every trainee started from, which the server still
+    // holds); carried uploads from earlier rounds always travel full. The
+    // decoded table is bit-identical to the sender's on either path, so the
+    // choice only shows in the byte counters.
     bool delivered = true;
     rl::QTable* table = &arena[ev.table];
     std::optional<rl::QTable> decoded;
+    const rl::QTable* base =
+        options_.delta_uploads && ev.trained_round == r && warm.has_value() ? &*warm
+                                                                            : nullptr;
+    bool went_delta = false;
+    std::vector<std::uint8_t> blob = encode_upload(*table, base, &went_delta);
+    if (went_delta) {
+      stats_.upload_bytes_delta += blob.size();
+      ++stats_.uploads_delta;
+      ++rs.delta_uploads;
+    } else {
+      stats_.upload_bytes_full += blob.size();
+      ++stats_.uploads_full;
+    }
+    rs.upload_bytes += blob.size();
     if (options_.churn.upload_fail_rate > 0.0) {
-      SnapshotWriter wire;
-      table->serialize(wire.section("upload"));
-      std::vector<std::uint8_t> blob = wire.bytes();
       SplitMix64 fate =
           attempt_stream(options_.churn.seed, ev.trained_round, ev.device, ev.attempt);
       if (bernoulli(fate, options_.churn.upload_fail_rate)) damage_blob(blob, fate);
-      try {
-        const SnapshotReader reader{std::move(blob),
-                                    "upload from device " + std::to_string(ev.device)};
-        ByteReader payload = reader.section("upload");
-        decoded = rl::QTable::deserialize(payload);
-        table = &*decoded;
-      } catch (const SerializeError&) {
-        delivered = false;
-      }
+    }
+    try {
+      decoded = decode_upload(std::move(blob), base,
+                              "upload from device " + std::to_string(ev.device));
+      table = &*decoded;
+    } catch (const SerializeError&) {
+      delivered = false;
     }
     if (!delivered) {
       const std::uint32_t next_attempt = ev.attempt + 1;

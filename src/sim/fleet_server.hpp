@@ -134,6 +134,16 @@ struct FleetServerOptions {
   /// from encode_fleet_server_options: a snapshot written single-process
   /// resumes sharded and vice versa.
   std::size_t processes{1};
+  /// Upload wire strategy: when true, a device uploading the round it just
+  /// trained encodes a QTableDelta against the round's warm-start table
+  /// (strip_visit_mass of the global aggregate - the base the server still
+  /// holds), so only the states the device touched travel. Uploads carried
+  /// across a round boundary always go full (their base is gone by the time
+  /// they arrive). The decoded table is bit-identical to the sender's on
+  /// either path, so the trajectory and every golden are unchanged - only
+  /// the byte counters differ. Pure wire strategy, deliberately excluded
+  /// from encode_fleet_server_options like `processes`.
+  bool delta_uploads{false};
 };
 
 /// Hard ceiling on one retry's delay (exponential backoff plus jitter,
@@ -184,12 +194,15 @@ struct FleetServerRoundStats {
   std::size_t global_states{0};     ///< state count of the global aggregate
   double mean_reward{0.0};          ///< mean device reward of this round's trainees
   double wall_seconds{0.0};         ///< host wall-clock for this round
+  std::uint64_t upload_bytes{0};    ///< wire bytes of this round's upload attempts
+  std::size_t delta_uploads{0};     ///< attempts this round that went as deltas
 };
 using FleetServerProgressFn = std::function<void(const FleetServerRoundStats&)>;
 
-/// Cumulative server statistics. The counters that determine replay
-/// (everything through `departures`) are persisted in the snapshot ring;
-/// the per-process fields below them restart at zero after a resume.
+/// Cumulative server statistics. The counters that determine replay or
+/// reporting continuity (everything through `uploads_delta`) are persisted
+/// in the snapshot ring; the per-process fields below them restart at zero
+/// after a resume.
 struct FleetServerStats {
   std::uint64_t rounds_served{0};
   std::uint64_t uploads_accepted{0};
@@ -198,6 +211,12 @@ struct FleetServerStats {
   std::uint64_t late_uploads_merged{0};
   std::uint64_t departures{0};
   std::uint64_t total_decisions{0};
+  // --- upload wire accounting (persisted via the v3 "sync_state" section;
+  // counts every attempt put on the wire, including ones later damaged) ---
+  std::uint64_t upload_bytes_full{0};
+  std::uint64_t upload_bytes_delta{0};
+  std::uint64_t uploads_full{0};
+  std::uint64_t uploads_delta{0};
   // --- per-process (not persisted) ---
   std::uint64_t rejoins{0};
   std::size_t snapshots_written{0};

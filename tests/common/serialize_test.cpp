@@ -105,6 +105,35 @@ std::vector<std::uint8_t> two_section_snapshot() {
   return w.bytes();
 }
 
+/// Synthesizes a genuine old-version container from a current one: rewrites
+/// the version field and re-stamps every section CRC with the plain payload
+/// checksum pre-v3 writers used (from v3 on the section CRC is seeded with
+/// the version word, so merely poking the version byte would - by design -
+/// fail every CRC).
+std::vector<std::uint8_t> as_version(std::vector<std::uint8_t> bytes, std::uint32_t version) {
+  bytes[4] = static_cast<std::uint8_t>(version);
+  bytes[5] = static_cast<std::uint8_t>(version >> 8);
+  bytes[6] = static_cast<std::uint8_t>(version >> 16);
+  bytes[7] = static_cast<std::uint8_t>(version >> 24);
+  ByteReader in{bytes, "rewrite"};
+  in.skip(8);  // magic + version
+  const std::uint32_t count = in.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    (void)in.str();
+    const std::uint64_t size = in.u64();
+    const std::size_t crc_pos = in.pos();
+    (void)in.u32();
+    const std::uint32_t crc =
+        crc32(std::span<const std::uint8_t>{bytes.data() + in.pos(), size});
+    bytes[crc_pos] = static_cast<std::uint8_t>(crc);
+    bytes[crc_pos + 1] = static_cast<std::uint8_t>(crc >> 8);
+    bytes[crc_pos + 2] = static_cast<std::uint8_t>(crc >> 16);
+    bytes[crc_pos + 3] = static_cast<std::uint8_t>(crc >> 24);
+    in.skip(static_cast<std::size_t>(size));
+  }
+  return bytes;
+}
+
 TEST(SnapshotContainer, RoundTripsSections) {
   const SnapshotReader snap{two_section_snapshot(), "test"};
   EXPECT_EQ(snap.version(), kSnapshotVersion);
@@ -148,17 +177,29 @@ TEST(SnapshotContainer, FutureVersionIsRefused) {
   }
 }
 
-TEST(SnapshotContainer, PreviousVersionIsStillReadable) {
-  // Read-back-one: version-1 snapshots (pre fleet-server) must keep
-  // decoding after the version-2 bump. The framing is identical across the
-  // window, so rewriting the version field yields a valid v1 container.
+TEST(SnapshotContainer, PreviousVersionsAreStillReadable) {
+  // Back-compat window: version-1 (pre fleet-server) and version-2 (pre
+  // delta-upload) snapshots must keep decoding after the version-3 bump.
+  // The framing is identical across the window; only the section-CRC
+  // seeding differs, which as_version() reproduces.
+  for (std::uint32_t v = kSnapshotVersionMin; v < kSnapshotVersion; ++v) {
+    SCOPED_TRACE(v);
+    const SnapshotReader snap{as_version(two_section_snapshot(), v), "test"};
+    EXPECT_EQ(snap.version(), v);
+    ByteReader a = snap.section("alpha");
+    EXPECT_EQ(a.u64(), 123u);
+    EXPECT_EQ(a.str(), "payload");
+  }
+}
+
+TEST(SnapshotContainer, InWindowVersionFlipTripsTheSeededCrc) {
+  // The version word itself is outside any checksum, so from v3 on it seeds
+  // every section CRC: corrupting a v3 container's version down to a still-
+  // accepted v2 must fail the CRC check instead of silently decoding under
+  // the wrong version's rules.
   std::vector<std::uint8_t> bytes = two_section_snapshot();
-  bytes[4] = static_cast<std::uint8_t>(kSnapshotVersionMin);
-  const SnapshotReader snap{std::move(bytes), "test"};
-  EXPECT_EQ(snap.version(), kSnapshotVersionMin);
-  ByteReader a = snap.section("alpha");
-  EXPECT_EQ(a.u64(), 123u);
-  EXPECT_EQ(a.str(), "payload");
+  bytes[4] = static_cast<std::uint8_t>(kSnapshotVersion - 1);
+  EXPECT_THROW((void)SnapshotReader(std::move(bytes), "test"), SerializeError);
 }
 
 TEST(SnapshotContainer, VersionBelowTheWindowIsRefused) {

@@ -102,6 +102,38 @@ TEST(QTable, EqualityIgnoresInsertionOrder) {
   EXPECT_FALSE(a != b);
 }
 
+TEST(QTable, GrowthPreservesEveryStoredValueExactly) {
+  // Push the table far past its initial 4096-slot capacity so grow()
+  // rehashes several times, then audit every entry against a recomputable
+  // formula. Pins the slot-major rehash copy: a transposed index in the
+  // grow loop scrambles Q rows silently while small-table tests stay green
+  // (this exact bug escaped the rest of the suite once).
+  QTable t{7, 2.0};
+  const auto value = [](StateKey s, std::size_t a) {
+    return 0.125 * static_cast<double>((s * 7 + a) % 1000);
+  };
+  const std::size_t n = 20000;
+  for (StateKey s = 1; s <= n; ++s) {
+    t.set_q(s * 0x9e3779b9u, s % 7, value(s * 0x9e3779b9u, s % 7));
+    t.add_visits(s * 0x9e3779b9u, s % 5);
+  }
+  ASSERT_EQ(t.state_count(), n);
+  for (StateKey s = 1; s <= n; ++s) {
+    const StateKey key = s * 0x9e3779b9u;
+    EXPECT_FLOAT_EQ(static_cast<float>(t.q(key, s % 7)),
+                    static_cast<float>(value(key, s % 7)))
+        << "state " << s;
+    EXPECT_FLOAT_EQ(static_cast<float>(t.q(key, (s + 1) % 7)), 2.0f) << "state " << s;
+    EXPECT_EQ(t.visits(key), s % 5);
+    EXPECT_EQ(t.tried_mask(key), 1u << (s % 7));
+  }
+  // The grown table round-trips through the canonical wire bit-exactly.
+  ByteWriter w;
+  t.serialize(w);
+  ByteReader r{w.data(), "grown"};
+  EXPECT_TRUE(QTable::deserialize(r) == t);
+}
+
 TEST(QTable, SerializationIsCanonical) {
   // Equal tables must produce identical bytes regardless of the order
   // states were learned in - fleet resume golden tests compare snapshots

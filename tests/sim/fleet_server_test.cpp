@@ -368,6 +368,90 @@ TEST(FleetServer, ShardedTrainingBitIdentical) {
   EXPECT_EQ(in_process.stats().uploads_accepted, sharded.stats().uploads_accepted);
 }
 
+TEST(FleetServer, DeltaUploadsMatchFullRunsUnderChurn) {
+  // Delta encoding is a wire strategy: against the round's warm table it
+  // must decode back to the sender's exact bytes, so a churning fleet run
+  // with the flag on converges to the same global table and the same
+  // accounting as one with it off.
+  FleetServerOptions options = small_server();
+  options.devices = 4;
+  options.churn.straggle_rate = 0.3;
+  options.churn.upload_fail_rate = 0.4;
+  FleetServer full{workload::AppId::kFacebook, options, {.workers = 2}};
+  FleetServerOptions delta_options = options;
+  delta_options.delta_uploads = true;
+  FleetServer delta{workload::AppId::kFacebook, delta_options, {.workers = 2}};
+  std::vector<FleetServerRoundStats> delta_rounds;
+  full.run_rounds(3);
+  delta.run_rounds(3, [&](const FleetServerRoundStats& rs) { delta_rounds.push_back(rs); });
+
+  ASSERT_NE(full.global(), nullptr);
+  ASSERT_NE(delta.global(), nullptr);
+  EXPECT_EQ(canonical_bytes(*full.global()), canonical_bytes(*delta.global()));
+  EXPECT_EQ(full.stats().uploads_accepted, delta.stats().uploads_accepted);
+  EXPECT_EQ(full.stats().uploads_retried, delta.stats().uploads_retried);
+  EXPECT_EQ(full.stats().uploads_lost, delta.stats().uploads_lost);
+  EXPECT_EQ(full.stats().late_uploads_merged, delta.stats().late_uploads_merged);
+  EXPECT_EQ(full.stats().total_decisions, delta.stats().total_decisions);
+
+  // The full run never sent a delta; the delta run did (round 0 has no warm
+  // table yet, so it still sends at least one full upload per device).
+  EXPECT_EQ(full.stats().uploads_delta, 0u);
+  EXPECT_GT(full.stats().uploads_full, 0u);
+  EXPECT_GT(delta.stats().uploads_delta, 0u);
+  EXPECT_GT(delta.stats().uploads_full, 0u);
+  EXPECT_LT(delta.stats().upload_bytes_delta + delta.stats().upload_bytes_full,
+            full.stats().upload_bytes_full);
+
+  // Per-round stats reconcile with the cumulative counters.
+  std::uint64_t bytes = 0;
+  std::size_t deltas = 0;
+  for (const auto& rs : delta_rounds) {
+    bytes += rs.upload_bytes;
+    deltas += rs.delta_uploads;
+  }
+  EXPECT_EQ(bytes, delta.stats().upload_bytes_delta + delta.stats().upload_bytes_full);
+  EXPECT_EQ(deltas, delta.stats().uploads_delta);
+}
+
+TEST(FleetServerRing, WireCountersSurviveRestore) {
+  // The cumulative upload-wire counters ride the v3 sync_state section:
+  // a kill -9 resume must keep counting from where the boundary left off
+  // rather than resetting to zero.
+  const std::string prefix = ring_prefix("wirecount");
+  FleetServerOptions options = small_server();
+  options.snapshot_ring = 2;
+  options.snapshot_prefix = prefix;
+  options.delta_uploads = true;
+  FleetServerStats before;
+  {
+    FleetServer server{workload::AppId::kFacebook, options, {.workers = 2}};
+    server.run_rounds(2);
+    before = server.stats();
+  }  // destroyed without drain(): kill -9
+  EXPECT_GT(before.uploads_full, 0u);
+  EXPECT_GT(before.uploads_delta, 0u);
+  FleetServer resumed{workload::AppId::kFacebook, options, {.workers = 2}};
+  ASSERT_TRUE(resumed.restored());
+  EXPECT_EQ(resumed.stats().upload_bytes_full, before.upload_bytes_full);
+  EXPECT_EQ(resumed.stats().upload_bytes_delta, before.upload_bytes_delta);
+  EXPECT_EQ(resumed.stats().uploads_full, before.uploads_full);
+  EXPECT_EQ(resumed.stats().uploads_delta, before.uploads_delta);
+}
+
+TEST(FleetServer, DeltaUploadsKnobExcludedFromOptionsIdentity) {
+  // Same contract as `processes`: wire encoding is execution strategy, so
+  // a snapshot written with full uploads must resume with deltas enabled.
+  FleetServerOptions a = small_server();
+  FleetServerOptions b = a;
+  b.delta_uploads = true;
+  ByteWriter wa;
+  ByteWriter wb;
+  encode_fleet_server_options(a, wa);
+  encode_fleet_server_options(b, wb);
+  EXPECT_EQ(wa.data(), wb.data());
+}
+
 TEST(FleetServer, ProcessesKnobExcludedFromOptionsIdentity) {
   // A snapshot written single-process must resume sharded: the knob is
   // execution strategy, not trajectory.

@@ -3,6 +3,9 @@
 // reporting and deployability of the global aggregate.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "common/error.hpp"
 #include "sim/fleet.hpp"
 
@@ -24,15 +27,16 @@ FleetOptions small_fleet() {
 void expect_tables_identical(const rl::QTable& a, const rl::QTable& b) {
   ASSERT_EQ(a.state_count(), b.state_count());
   EXPECT_EQ(a.total_visits(), b.total_visits());
-  for (const auto& [key, ea] : a.entries()) {
-    const auto it = b.entries().find(key);
-    ASSERT_NE(it, b.entries().end()) << "state " << key << " missing";
-    EXPECT_EQ(ea.visits, it->second.visits) << "state " << key;
-    EXPECT_EQ(ea.tried, it->second.tried) << "state " << key;
-    for (std::size_t i = 0; i < ea.q.size(); ++i) {
-      EXPECT_EQ(ea.q[i], it->second.q[i]) << "state " << key << " action " << i;
+  a.for_each_entry([&](const rl::QTable::EntryView& ea) {
+    ASSERT_TRUE(b.contains(ea.key())) << "state " << ea.key() << " missing";
+    EXPECT_EQ(ea.visits(), b.visits(ea.key())) << "state " << ea.key();
+    EXPECT_EQ(ea.tried(), b.tried_mask(ea.key())) << "state " << ea.key();
+    for (std::size_t i = 0; i < a.action_count(); ++i) {
+      EXPECT_EQ(ea.q(i), b.q(ea.key(), i)) << "state " << ea.key() << " action " << i;
     }
-  }
+  });
+  // Belt and braces: the exact-equality operator must agree.
+  EXPECT_TRUE(a == b);
 }
 
 TEST(Fleet, DeterministicAcrossWorkerCounts) {
@@ -161,6 +165,139 @@ TEST(Fleet, DeterministicAcrossProcessCounts) {
     SCOPED_TRACE(s);
     expect_tables_identical(in_process.shard_tables[s], sharded.shard_tables[s]);
   }
+}
+
+TEST(Fleet, UploadWireCodecRoundTripsBothPaths) {
+  // decode_upload(encode_upload(t, ...)) == t bit-exactly on both the full
+  // and the delta path - the invariant that makes the wire strategy
+  // invisible to the training trajectory.
+  rl::QTable base{4, 2.5};
+  base.set_q(10, 1, 0.5);
+  base.record_visit(10);
+  base.set_q(11, 2, -1.25);
+  rl::QTable next = base;
+  next.set_q(10, 3, 7.0);
+  next.record_visit(10);
+  next.set_q(99, 0, 3.5);
+  next.record_visit(99);
+
+  bool went_delta = false;
+  const std::vector<std::uint8_t> full = encode_upload(next, nullptr, &went_delta);
+  EXPECT_FALSE(went_delta);
+  EXPECT_TRUE(decode_upload(full, nullptr, "test") == next);
+
+  const std::vector<std::uint8_t> delta = encode_upload(next, &base, &went_delta);
+  EXPECT_TRUE(went_delta);
+  EXPECT_LT(delta.size(), full.size());  // only the touched states travel
+  EXPECT_TRUE(decode_upload(delta, &base, "test") == next);
+
+  // A delta against a base the receiver does not hold must be refused, not
+  // misapplied - same failure surface as any damaged blob.
+  rl::QTable other{4, 2.5};
+  other.set_q(10, 1, 0.5);  // differs from `base` in visits/states
+  EXPECT_THROW((void)decode_upload(delta, &other, "test"), SerializeError);
+  EXPECT_THROW((void)decode_upload(delta, nullptr, "test"), SerializeError);
+
+  // A base that is not a subset of the table falls back to the full wire.
+  rl::QTable unrelated{4, 2.5};
+  unrelated.set_q(12345, 0, 1.0);
+  const std::vector<std::uint8_t> fallback = encode_upload(next, &unrelated, &went_delta);
+  EXPECT_FALSE(went_delta);
+  EXPECT_TRUE(decode_upload(fallback, nullptr, "test") == next);
+}
+
+TEST(Fleet, DeltaUploadsAreByteIdenticalToFull) {
+  // The delta-upload wire contract end to end: with faults active, a
+  // delta-encoded run must land on exactly the same tables as the
+  // full-upload run - across worker counts and process counts - because
+  // every decoded upload is bit-identical to the sender's table. Only the
+  // wire accounting may differ.
+  FleetOptions options = small_fleet();
+  options.rounds = 4;
+  options.faults.dropout_rate = 0.15;
+  options.faults.upload_corruption_rate = 0.3;
+  const FleetResult full = train_fleet(workload::AppId::kFacebook, options, {.workers = 1});
+  EXPECT_EQ(full.uploads_delta, 0u);  // flag off: everything travels full
+  EXPECT_GT(full.uploads_full, 0u);
+  EXPECT_GT(full.upload_bytes_full, 0u);
+
+  options.delta_uploads = true;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(workers);
+    std::uint64_t stat_bytes = 0;
+    std::size_t stat_deltas = 0;
+    const FleetResult delta =
+        train_fleet(workload::AppId::kFacebook, options, {.workers = workers},
+                    [&](const FleetRoundStats& stats) {
+                      stat_bytes += stats.upload_bytes;
+                      stat_deltas += stats.delta_uploads;
+                    });
+    expect_tables_identical(full.global, delta.global);
+    ASSERT_EQ(full.shard_tables.size(), delta.shard_tables.size());
+    for (std::size_t s = 0; s < full.shard_tables.size(); ++s) {
+      SCOPED_TRACE(s);
+      expect_tables_identical(full.shard_tables[s], delta.shard_tables[s]);
+    }
+    EXPECT_EQ(full.total_decisions, delta.total_decisions);
+    EXPECT_EQ(full.rejected_uploads, delta.rejected_uploads);
+    EXPECT_EQ(full.dropped_device_rounds, delta.dropped_device_rounds);
+    // Shard 0 syncs every round: its first upload goes full, everything
+    // after deltas. Per-round stats must reconcile with the totals.
+    EXPECT_GT(delta.uploads_delta, 0u);
+    EXPECT_GT(delta.uploads_full, 0u);
+    EXPECT_EQ(delta.uploads_delta, stat_deltas);
+    EXPECT_EQ(delta.upload_bytes_full + delta.upload_bytes_delta, stat_bytes);
+  }
+
+  options.processes = 2;
+  const FleetResult sharded =
+      train_fleet(workload::AppId::kFacebook, options, {.workers = 1});
+  expect_tables_identical(full.global, sharded.global);
+  EXPECT_EQ(full.total_decisions, sharded.total_decisions);
+}
+
+TEST(Fleet, DeltaFlagMayFlipAcrossResume) {
+  // The wire strategy is not part of the snapshot's options identity: a
+  // checkpoint written by a full-upload run resumes under delta_uploads
+  // (and lands on the uninterrupted run's exact bytes), because the delta
+  // bases persisted in the v3 sync_state section are maintained either way.
+  const std::string path = ::testing::TempDir() + "/nextgov_fleet_delta_resume.bin";
+  std::remove(path.c_str());
+
+  FleetOptions options = small_fleet();
+  options.rounds = 4;
+  options.faults.upload_corruption_rate = 0.25;
+  const FleetResult straight = train_fleet(workload::AppId::kFacebook, options);
+
+  FleetOptions crashing = options;
+  crashing.snapshot_every = 2;
+  crashing.snapshot_path = path;
+  crashing.faults.crash_at_round = 1;  // dies right after the checkpoint
+  EXPECT_THROW((void)train_fleet(workload::AppId::kFacebook, crashing), FleetCrash);
+
+  FleetOptions resumed = options;
+  resumed.resume_from = path;
+  resumed.delta_uploads = true;  // flipped relative to the crashed run
+  const FleetResult delta_resumed = train_fleet(workload::AppId::kFacebook, resumed);
+  expect_tables_identical(straight.global, delta_resumed.global);
+  EXPECT_EQ(delta_resumed.start_round, 2u);
+  // Rounds 2-3 sync against bases restored from the snapshot, so the
+  // resumed half actually exercises the delta path.
+  EXPECT_GT(delta_resumed.uploads_delta, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Fleet, DeltaUploadsKnobExcludedFromOptionsIdentity) {
+  // Like `processes`: pure wire strategy, so flipping it must not change
+  // the canonical options encoding a snapshot pins.
+  FleetOptions a = small_fleet();
+  FleetOptions b = a;
+  b.delta_uploads = true;
+  ByteWriter wa;
+  ByteWriter wb;
+  encode_fleet_options(a, wa);
+  encode_fleet_options(b, wb);
+  EXPECT_EQ(wa.data(), wb.data());
 }
 
 TEST(Fleet, ProcessesKnobExcludedFromOptionsIdentity) {

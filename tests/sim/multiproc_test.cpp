@@ -44,15 +44,15 @@ void expect_training_identical(const TrainingResult& a, const TrainingResult& b)
   EXPECT_EQ(a.states_visited, b.states_visited);
   ASSERT_EQ(a.table.state_count(), b.table.state_count());
   EXPECT_EQ(a.table.total_visits(), b.table.total_visits());
-  for (const auto& [key, ea] : a.table.entries()) {
-    const auto it = b.table.entries().find(key);
-    ASSERT_NE(it, b.table.entries().end()) << "state " << key << " missing";
-    EXPECT_EQ(ea.visits, it->second.visits);
-    EXPECT_EQ(ea.tried, it->second.tried);
-    ASSERT_EQ(ea.q.size(), it->second.q.size());
-    EXPECT_EQ(0, std::memcmp(ea.q.data(), it->second.q.data(),
-                             ea.q.size() * sizeof(float)));
-  }
+  a.table.for_each_entry([&](const rl::QTable::EntryView& ea) {
+    ASSERT_TRUE(b.table.contains(ea.key())) << "state " << ea.key() << " missing";
+    EXPECT_EQ(ea.visits(), b.table.visits(ea.key()));
+    EXPECT_EQ(ea.tried(), b.table.tried_mask(ea.key()));
+    for (std::size_t i = 0; i < a.table.action_count(); ++i) {
+      EXPECT_EQ(ea.q(i), b.table.q(ea.key(), i)) << "state " << ea.key() << " action " << i;
+    }
+  });
+  EXPECT_TRUE(a.table == b.table);
 }
 
 TEST(Multiproc, MatrixBitIdenticalAcrossProcessCounts) {

@@ -166,15 +166,14 @@ TEST(BatchRunner, BatchedTrainingIsBitIdenticalToTrainingPlan) {
     EXPECT_EQ(a.states_visited, b.states_visited);
     ASSERT_EQ(a.table.state_count(), b.table.state_count());
     EXPECT_EQ(a.table.total_visits(), b.table.total_visits());
-    for (const auto& [key, ea] : a.table.entries()) {
-      const auto it = b.table.entries().find(key);
-      ASSERT_NE(it, b.table.entries().end()) << "state " << key;
-      EXPECT_EQ(ea.visits, it->second.visits);
-      EXPECT_EQ(ea.tried, it->second.tried);
-      for (std::size_t q = 0; q < ea.q.size(); ++q) {
-        EXPECT_EQ(ea.q[q], it->second.q[q]) << "state " << key << " action " << q;
+    a.table.for_each_entry([&](const rl::QTable::EntryView& ea) {
+      ASSERT_TRUE(b.table.contains(ea.key())) << "state " << ea.key();
+      EXPECT_EQ(ea.visits(), b.table.visits(ea.key()));
+      EXPECT_EQ(ea.tried(), b.table.tried_mask(ea.key()));
+      for (std::size_t q = 0; q < a.table.action_count(); ++q) {
+        EXPECT_EQ(ea.q(q), b.table.q(ea.key(), q)) << "state " << ea.key() << " action " << q;
       }
-    }
+    });
   }
 }
 

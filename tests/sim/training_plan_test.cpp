@@ -31,16 +31,15 @@ void expect_bit_identical(const TrainingResult& a, const TrainingResult& b) {
   ASSERT_EQ(a.table.action_count(), b.table.action_count());
   ASSERT_EQ(a.table.state_count(), b.table.state_count());
   EXPECT_EQ(a.table.total_visits(), b.table.total_visits());
-  for (const auto& [key, ea] : a.table.entries()) {
-    const auto it = b.table.entries().find(key);
-    ASSERT_NE(it, b.table.entries().end()) << "state " << key << " missing";
-    const auto& eb = it->second;
-    EXPECT_EQ(ea.visits, eb.visits) << "state " << key;
-    EXPECT_EQ(ea.tried, eb.tried) << "state " << key;
-    ASSERT_EQ(ea.q.size(), eb.q.size());
-    EXPECT_EQ(std::memcmp(ea.q.data(), eb.q.data(), ea.q.size() * sizeof(float)), 0)
-        << "state " << key;
-  }
+  a.table.for_each_entry([&](const rl::QTable::EntryView& ea) {
+    ASSERT_TRUE(b.table.contains(ea.key())) << "state " << ea.key() << " missing";
+    EXPECT_EQ(ea.visits(), b.table.visits(ea.key())) << "state " << ea.key();
+    EXPECT_EQ(ea.tried(), b.table.tried_mask(ea.key())) << "state " << ea.key();
+    for (std::size_t i = 0; i < a.table.action_count(); ++i) {
+      EXPECT_EQ(ea.q(i), b.table.q(ea.key(), i)) << "state " << ea.key() << " action " << i;
+    }
+  });
+  EXPECT_TRUE(a.table == b.table);
 }
 
 TEST(TrainingPlan, BuildsCellsInOrder) {
